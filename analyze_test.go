@@ -1,0 +1,100 @@
+package scamv
+
+import (
+	"testing"
+
+	"scamv/internal/arm"
+	"scamv/internal/gen"
+	"scamv/internal/obs"
+)
+
+func specModel() *obs.MCt {
+	return &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll}
+}
+
+func TestCheckPolicyFlagsSiSCloak(t *testing.T) {
+	rep, err := CheckPolicy(gen.SiSCloak1(), specModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LeakPossible {
+		t.Fatal("the SiSCloak gadget must be flagged as potentially leaking")
+	}
+	if rep.Witness == nil {
+		t.Fatal("a leak verdict must carry a witness pair")
+	}
+}
+
+func TestCheckPolicySecureProgram(t *testing.T) {
+	// A branch whose body accesses only a fixed, branch-independent
+	// address: transient observations are constants, so no M1-equivalent
+	// pair can differ under M_spec.
+	prog, err := arm.Parse("secure", `
+        cmp x0, x1
+        b.hs end
+        movz x3, #0x4000
+        ldr x2, [x3]
+    end:
+        hlt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPolicy(prog, specModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakPossible {
+		t.Fatalf("constant-address program flagged as leaking (witness %v)", rep.Witness)
+	}
+	if rep.PairsChecked == 0 {
+		t.Error("no pairs checked")
+	}
+}
+
+func TestCheckPolicyStraightLine(t *testing.T) {
+	// No branch at all: nothing speculates, nothing can differ under the
+	// refinement.
+	prog, err := arm.Parse("line", "ldr x1, [x0]\nadd x2, x1, #1\nhlt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPolicy(prog, specModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakPossible {
+		t.Error("straight-line program cannot leak speculatively")
+	}
+}
+
+func TestCheckPolicyRequiresRefinedModel(t *testing.T) {
+	if _, err := CheckPolicy(gen.SiSCloak1(), &obs.MCt{Geom: obs.DefaultGeometry}, 1); err == nil {
+		t.Fatal("expected an error for an unrefined model pair")
+	}
+}
+
+func TestCheckPolicyWitnessIsReal(t *testing.T) {
+	// The witness must actually reproduce on the simulated hardware.
+	rep, err := CheckPolicy(gen.SiSCloak1(), specModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(gen.SiSCloak1(), specModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Experiment{Speculative: true, Refined: true, Seed: 3}
+	en := e.WithDefaults()
+	train, ok := pl.TrainingState(rep.Witness.PathA, 3)
+	if !ok {
+		t.Fatal("no training state")
+	}
+	v, err := pl.ExecuteTestCase(&en, rep.Witness, train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Counterexample {
+		t.Errorf("witness does not reproduce on hardware: %v", v)
+	}
+}

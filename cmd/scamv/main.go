@@ -1,0 +1,187 @@
+// Command scamv runs the validation campaigns of the paper's evaluation
+// (Table 1 and the Fig. 7 table) on the simulated Cortex-A53 platform and
+// prints the result tables.
+//
+// Usage:
+//
+//	scamv -exp all                 # every campaign at reduced scale
+//	scamv -exp mpart -scale 1.0    # one campaign at paper scale
+//	scamv -exp mct-a -programs 20  # explicit program count
+//	scamv -log run.jsonl           # also append per-experiment records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"scamv"
+	"scamv/internal/analysis"
+	"scamv/internal/gen"
+	"scamv/internal/logdb"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "campaign: all, mpart, mpart-pa, mct-a, mct-b, fig7-c, mspec1-b, straight, mtime, pcmodel")
+		scale    = flag.Float64("scale", 0.05, "fraction of the paper-scale program counts to run")
+		programs = flag.Int("programs", 0, "override the number of programs (0 = scale * paper count)")
+		tests    = flag.Int("tests", 0, "override test cases per program (0 = preset)")
+		seed     = flag.Int64("seed", 2021, "campaign seed")
+		logPath  = flag.String("log", "", "append per-experiment JSON records to this file")
+		report   = flag.String("report", "", "analyse a previously written log file and exit")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "programs processed concurrently")
+	)
+	flag.Parse()
+
+	if *report != "" {
+		if err := analyse(*report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var db *logdb.DB
+	if *logPath != "" {
+		var err error
+		db, err = logdb.Open(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+	}
+
+	n := func(paper int) int {
+		if *programs > 0 {
+			return *programs
+		}
+		v := int(float64(paper) * *scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	tn := func(preset int) int {
+		if *tests > 0 {
+			return *tests
+		}
+		return preset
+	}
+
+	runPair := func(title string, unguided, refined scamv.Experiment) {
+		unguided.Log, refined.Log = db, db
+		unguided.Parallel, refined.Parallel = *parallel, *parallel
+		fmt.Printf("== %s ==\n", title)
+		ru, err := scamv.Run(unguided)
+		if err != nil {
+			fatal(err)
+		}
+		rr, err := scamv.Run(refined)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(scamv.FormatTable(ru, rr))
+	}
+	runOne := func(title string, e scamv.Experiment) {
+		e.Log = db
+		e.Parallel = *parallel
+		fmt.Printf("== %s ==\n", title)
+		r, err := scamv.Run(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(scamv.FormatTable(r))
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	ran := false
+
+	if want("mpart") {
+		ran = true
+		u, r := scamv.MPartExperiments(false, n(scamv.PaperMPartPrograms), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Table 1: Mpart (AR = sets 61..127)", u, r)
+	}
+	if want("mpart-pa") {
+		ran = true
+		u, r := scamv.MPartExperiments(true, n(scamv.PaperMPartPAPrograms), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Table 1: Mpart page aligned (AR = sets 64..127)", u, r)
+	}
+	if want("mct-a") {
+		ran = true
+		u, r := scamv.MCtExperiments(gen.TemplateA{}, n(scamv.PaperMCtAPrograms), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Table 1: Mct Template A", u, r)
+	}
+	if want("mct-b") {
+		ran = true
+		u, r := scamv.MCtExperiments(gen.TemplateB{}, n(scamv.PaperMCtBPrograms), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Table 1: Mct Template B", u, r)
+	}
+	if want("fig7-c") {
+		ran = true
+		u, r := scamv.MCtExperiments(gen.TemplateC{}, n(scamv.PaperFig7CPrograms), tn(scamv.PaperFig7CTests), *seed)
+		runPair("Fig. 7: Mct Template C", u, r)
+		runOne("Fig. 7: Mspec1 Template C",
+			scamv.MSpec1Experiment(gen.TemplateC{}, n(scamv.PaperFig7CPrograms), tn(scamv.PaperFig7CTests), *seed))
+	}
+	if want("mspec1-b") {
+		ran = true
+		runOne("Fig. 7: Mspec1 Template B",
+			scamv.MSpec1Experiment(gen.TemplateB{}, n(scamv.PaperMSpec1BPrograms), tn(scamv.DefaultTestsPerProgram), *seed))
+	}
+	if want("mtime") {
+		ran = true
+		u, r := scamv.MTimeExperiments(n(100), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Extension: variable-time multiplier channel (Mct vs Mtime)", u, r)
+	}
+	if want("pcmodel") {
+		ran = true
+		u, r := scamv.MPCModelExperiments(n(100), tn(scamv.DefaultTestsPerProgram), *seed)
+		runPair("Extension: program-counter security model vs the data cache", u, r)
+	}
+	if want("straight") {
+		ran = true
+		runOne("Fig. 7: Mct Template D with Mspec' (straight-line)",
+			scamv.StraightLineExperiment(n(scamv.PaperStraightPrograms), tn(scamv.PaperStraightTests), *seed))
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+// analyse prints campaign aggregates and, for every unguided/refined pair
+// of the same campaign family, the paper's §A.6.1 checklist ratios.
+func analyse(path string) error {
+	recs, err := logdb.Load(path)
+	if err != nil {
+		return err
+	}
+	campaigns := analysis.Aggregate(recs)
+	fmt.Print(analysis.FormatCampaigns(campaigns))
+	fmt.Println()
+	for _, name := range analysis.Names(campaigns) {
+		patterns := analysis.DiffPatterns(recs, name)
+		if len(patterns) == 0 {
+			continue
+		}
+		fmt.Printf("counterexample patterns of %s:\n%s\n", name, analysis.FormatPatterns(patterns))
+	}
+	for _, name := range analysis.Names(campaigns) {
+		if !strings.HasSuffix(name, "/unguided") {
+			continue
+		}
+		refined := campaigns[strings.TrimSuffix(name, "/unguided")+"/refined"]
+		if refined == nil {
+			continue
+		}
+		fmt.Print(analysis.Compare(campaigns[name], refined))
+		fmt.Println()
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scamv:", err)
+	os.Exit(1)
+}

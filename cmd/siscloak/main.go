@@ -1,0 +1,108 @@
+// Command siscloak mounts the SiSCloak attack (paper §6.4) against a chosen
+// victim gadget on the simulated Cortex-A53 and prints the Flush+Reload
+// timing profile.
+//
+// Usage:
+//
+//	siscloak                      # counterexample 1 of Fig. 6
+//	siscloak -victim siscloak2    # the classification-bit variant
+//	siscloak -victim spectre-pht  # the control: does NOT leak on this core
+//	siscloak -secret 42 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scamv/internal/attack"
+	"scamv/internal/expr"
+	"scamv/internal/gen"
+)
+
+const (
+	arrayA = 0x10000
+	arrayB = 0x20000
+	bound  = 8
+)
+
+func main() {
+	var (
+		victim  = flag.String("victim", "siscloak1", "gadget: siscloak1, siscloak2, spectre-pht")
+		secret  = flag.Int("secret", 37, "planted secret (a probe-array line index, 0..63)")
+		rounds  = flag.Int("rounds", 4, "maximum Flush+Reload rounds")
+		verbose = flag.Bool("verbose", false, "print the per-line reload timings")
+	)
+	flag.Parse()
+	if *secret < 0 || *secret > 63 {
+		fatal(fmt.Errorf("secret %d out of range 0..63", *secret))
+	}
+
+	mem := expr.NewMemModel(0)
+	train := map[string]uint64{"x0": 0, "x1": bound, "x5": arrayA, "x7": arrayB}
+	attackRegs := map[string]uint64{"x0": 16, "x1": bound, "x5": arrayA, "x7": arrayB}
+
+	var prog = gen.SiSCloak1()
+	switch *victim {
+	case "siscloak1":
+		mem.Set(arrayA+16, uint64(*secret)*64)
+	case "siscloak2":
+		prog = gen.SiSCloak2()
+		mem.Set(arrayA+24, 0x80000000|uint64(*secret)*64)
+		mem.Set(arrayA+0, 5*64)
+		var base uint64 = arrayB
+		base -= 0x80000000
+		train = map[string]uint64{"x0": 0, "x5": arrayA, "x7": base}
+		attackRegs = map[string]uint64{"x0": 24, "x5": arrayA, "x7": base}
+	case "spectre-pht":
+		prog = gen.SpectrePHT()
+		mem.Set(arrayA+16, uint64(*secret)*64)
+	default:
+		fatal(fmt.Errorf("unknown victim %q", *victim))
+	}
+
+	fmt.Printf("victim %s:\n%s\n", prog.Name, prog)
+	fmt.Printf("planted secret: probe line %d\n\n", *secret)
+
+	runner := attack.NewRunner(prog, mem, attack.DefaultConfig())
+	var res *attack.Result
+	var err error
+	for round := 0; round < *rounds; round++ {
+		res, err = runner.Round(train, attackRegs, arrayB)
+		if err != nil {
+			fatal(err)
+		}
+		if _, ok := res.Recovered(); ok {
+			break
+		}
+	}
+	if *verbose {
+		fmt.Println("reload timings (cycles):")
+		for i, t := range res.Timings {
+			marker := ""
+			for _, h := range res.HitLines {
+				if h == i {
+					marker = "  <-- HIT"
+				}
+			}
+			fmt.Printf("  line %2d: %3d%s\n", i, t, marker)
+		}
+		fmt.Println()
+	}
+	switch {
+	case len(res.HitLines) == 1 && res.HitLines[0] == *secret:
+		fmt.Printf("recovered secret line %d — SiSCloak leak confirmed.\n", res.HitLines[0])
+	case len(res.HitLines) == 0 && *victim == "spectre-pht":
+		fmt.Println("no probe line hit: the dependent transient load never issues on")
+		fmt.Println("this core — classic Spectre-PHT does not leak (ARM's A53 claim).")
+	case len(res.HitLines) == 0:
+		fmt.Println("no leak observed.")
+	default:
+		fmt.Printf("ambiguous hits: %v\n", res.HitLines)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siscloak:", err)
+	os.Exit(1)
+}

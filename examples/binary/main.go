@@ -1,0 +1,78 @@
+// Binary demonstrates that the pipeline's input really is machine code, as
+// in the original framework where HolBA transpiles binaries: a victim is
+// assembled to A64 words, the words are disassembled back, lifted to BIR,
+// and validated — and the static relational analysis (CheckPolicy) flags
+// the leak without ever running the hardware.
+//
+//	go run ./examples/binary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scamv"
+	"scamv/internal/arm"
+	"scamv/internal/gen"
+	"scamv/internal/obs"
+)
+
+func main() {
+	victim := gen.SiSCloak1()
+	fmt.Println("victim (assembly):")
+	fmt.Println(victim)
+
+	words, err := arm.Encode(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim (A64 machine code):")
+	for i, w := range words {
+		fmt.Printf("  %04x: %08x\n", i*4, w)
+	}
+	fmt.Println()
+
+	decoded, err := arm.Decode("victim.bin", words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("disassembled back:")
+	fmt.Println(decoded)
+
+	model := &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll}
+	rep, err := scamv.CheckPolicy(decoded, model, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relational analysis over %d path pairs: leak possible = %v\n",
+		rep.PairsChecked, rep.LeakPossible)
+	if rep.LeakPossible {
+		fmt.Printf("witness pair (paths %d/%d):\n", rep.Witness.PathA, rep.Witness.PathB)
+		fmt.Printf("  s1: %v mem %v\n", rep.Witness.S1.Regs, rep.Witness.S1.Mem.Data)
+		fmt.Printf("  s2: %v mem %v\n", rep.Witness.S2.Regs, rep.Witness.S2.Mem.Data)
+		fmt.Println("the two states are M_ct-equivalent but their transient loads")
+		fmt.Println("touch different cache lines — exactly the SiSCloak leak that the")
+		fmt.Println("hardware campaigns confirm (see examples/siscloak).")
+	}
+
+	// Contrast: the fenced victim. Inserting the bounds check result into
+	// the address computation (a masking idiom) removes the leak.
+	masked, err := arm.Parse("masked", `
+        ldr x2, [x5, x0]
+        cmp x0, x1
+        b.hs end
+        movz x3, #0x4000     ; fixed, data-independent prefetch target
+        ldr x4, [x3]
+    end:
+        hlt
+    `)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := scamv.CheckPolicy(masked, model, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhardened variant: leak possible = %v (%d pairs checked)\n",
+		rep2.LeakPossible, rep2.PairsChecked)
+}

@@ -1,0 +1,117 @@
+// Siscloak demonstrates the two SiSCloak counterexamples of the paper's
+// Fig. 6 (§6.4) end to end: first Scam-V-style validation shows that the
+// constant-time model M_ct wrongly classifies the programs as secure, then
+// a concrete Flush+Reload attack recovers the secret through the single
+// speculative load, using the cycle counter as the timing source.
+//
+//	go run ./examples/siscloak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scamv"
+	"scamv/internal/arm"
+	"scamv/internal/attack"
+	"scamv/internal/expr"
+	"scamv/internal/gen"
+	"scamv/internal/obs"
+)
+
+const (
+	arrayA = 0x10000 // #A: attacker-indexable array
+	arrayB = 0x20000 // #B: probe array
+	bound  = 8       // #A-size
+)
+
+func main() {
+	fmt.Println("SiSCloak counterexample 1 (Fig. 6, middle column):")
+	fmt.Println(gen.SiSCloak1())
+	validate(gen.SiSCloak1())
+
+	// Mount the real attack: recover A[16] (out of bounds; the "secret")
+	// at cache-line granularity.
+	secretLine := 37
+	mem := expr.NewMemModel(0)
+	mem.Set(arrayA+16, uint64(secretLine)*64)
+	runner := attack.NewRunner(gen.SiSCloak1(), mem, attack.DefaultConfig())
+	train := map[string]uint64{"x0": 0, "x1": bound, "x5": arrayA, "x7": arrayB}
+	attackRegs := map[string]uint64{"x0": 16, "x1": bound, "x5": arrayA, "x7": arrayB}
+	line, err := runner.RecoverLine(train, attackRegs, arrayB, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Flush+Reload recovered secret line %d (planted %d) — leak confirmed.\n\n",
+		line, secretLine)
+
+	fmt.Println("SiSCloak counterexample 2 (Fig. 6, right column — classification bit):")
+	fmt.Println(gen.SiSCloak2())
+	validate(gen.SiSCloak2())
+
+	secretLine2 := 21
+	mem2 := expr.NewMemModel(0)
+	mem2.Set(arrayA+24, 0x80000000|uint64(secretLine2)*64) // confidential element
+	mem2.Set(arrayA+0, 5*64)                               // public element for training
+	runner2 := attack.NewRunner(gen.SiSCloak2(), mem2, attack.DefaultConfig())
+	var base uint64 = arrayB
+	base -= 0x80000000 // compensate the classification bit in the index
+	train2 := map[string]uint64{"x0": 0, "x5": arrayA, "x7": base}
+	attack2 := map[string]uint64{"x0": 24, "x5": arrayA, "x7": base}
+	line2, err := runner2.RecoverLine(train2, attack2, arrayB, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Flush+Reload recovered confidential line %d (planted %d).\n\n",
+		line2, secretLine2)
+
+	fmt.Println("Control: the original Spectre-PHT gadget (Fig. 6, left column):")
+	fmt.Println(gen.SpectrePHT())
+	mem3 := expr.NewMemModel(0)
+	mem3.Set(arrayA+16, uint64(secretLine)*64)
+	runner3 := attack.NewRunner(gen.SpectrePHT(), mem3, attack.DefaultConfig())
+	res, err := runner3.Round(train, attackRegs, arrayB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.HitLines) == 0 {
+		fmt.Println("no probe line hit: the dependent second load never issues on this")
+		fmt.Println("core (no transient forwarding) — Cortex-A53 is immune to classic")
+		fmt.Println("Spectre-PHT, yet vulnerable to SiSCloak's single speculative load.")
+	} else {
+		fmt.Printf("unexpected hits: %v\n", res.HitLines)
+	}
+}
+
+// validate pushes one fixed program through the refinement-guided pipeline
+// and reports whether M_ct is invalidated on it.
+func validate(prog *arm.Program) {
+	pl, err := scamv.NewPipeline(prog, &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := scamv.Experiment{Refined: true, Speculative: true, Seed: 11}
+	en := e.WithDefaults()
+	g := pl.Generator(&en, 1)
+	counter := 0
+	for t := 0; t < 10; t++ {
+		tc, ok := g.Next()
+		if !ok {
+			break
+		}
+		trainState, ok := pl.TrainingState(tc.PathA, 1)
+		if !ok {
+			continue
+		}
+		v, err := pl.ExecuteTestCase(&en, tc, trainState, int64(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == scamv.Counterexample {
+			counter++
+		}
+	}
+	fmt.Printf("validation of M_ct: %d/10 refinement-guided test cases are\n", counter)
+	fmt.Println("counterexamples — the constant-time model is unsound for this program.")
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module scamv
+
+go 1.22

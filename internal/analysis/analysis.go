@@ -1,0 +1,219 @@
+// Package analysis aggregates experiment logs (internal/logdb) into
+// campaign statistics and evaluates the artifact-appendix checklist of the
+// paper (§A.6.1), which phrases the evaluation's expected outcomes as
+// ratios between the refined and unguided campaigns: how many times more
+// programs with counterexamples, how many times more counterexamples, and
+// how much faster the first counterexample arrives.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"scamv/internal/logdb"
+)
+
+// Campaign is the aggregate of one experiment campaign's log records.
+type Campaign struct {
+	Name            string
+	Programs        int
+	ProgramsWithCex int
+	Experiments     int
+	Counterexamples int
+	Inconclusive    int
+
+	TotalGenMicros int64
+	TotalExeMicros int64
+
+	// MicrosToFirstCex is the cumulative generation+execution time up to
+	// and including the first counterexample; -1 when none was found.
+	MicrosToFirstCex int64
+}
+
+// AvgGenMicros is the mean generation time per experiment.
+func (c *Campaign) AvgGenMicros() float64 {
+	if c.Experiments == 0 {
+		return 0
+	}
+	return float64(c.TotalGenMicros) / float64(c.Experiments)
+}
+
+// AvgExeMicros is the mean execution time per experiment.
+func (c *Campaign) AvgExeMicros() float64 {
+	if c.Experiments == 0 {
+		return 0
+	}
+	return float64(c.TotalExeMicros) / float64(c.Experiments)
+}
+
+// CexRate is the fraction of experiments that are counterexamples.
+func (c *Campaign) CexRate() float64 {
+	if c.Experiments == 0 {
+		return 0
+	}
+	return float64(c.Counterexamples) / float64(c.Experiments)
+}
+
+// DiffPatterns counts, over the counterexamples of a campaign's records,
+// how often each state-difference pattern occurs — the paper's §1 goal of
+// collecting enough counterexamples "to get better insight and identify
+// patterns". A pattern is the comma-joined Diff list of the test case
+// (e.g. "x5,mem": the states differed in register x5 and in memory).
+func DiffPatterns(recs []logdb.Record, campaign string) map[string]int {
+	out := make(map[string]int)
+	for _, r := range recs {
+		if r.Experiment != campaign || r.Verdict != "counterexample" {
+			continue
+		}
+		out[strings.Join(r.Diff, ",")]++
+	}
+	return out
+}
+
+// FormatPatterns renders the patterns of a campaign sorted by frequency.
+func FormatPatterns(patterns map[string]int) string {
+	type kv struct {
+		k string
+		n int
+	}
+	var items []kv
+	for k, n := range patterns {
+		items = append(items, kv{k, n})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].k < items[j].k
+	})
+	var sb strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&sb, "  %6d  differ in {%s}\n", it.n, it.k)
+	}
+	return sb.String()
+}
+
+// Aggregate groups log records by campaign name.
+func Aggregate(recs []logdb.Record) map[string]*Campaign {
+	out := make(map[string]*Campaign)
+	progs := make(map[string]map[string]bool)
+	progsCex := make(map[string]map[string]bool)
+	for _, r := range recs {
+		c := out[r.Experiment]
+		if c == nil {
+			c = &Campaign{Name: r.Experiment, MicrosToFirstCex: -1}
+			out[r.Experiment] = c
+			progs[r.Experiment] = make(map[string]bool)
+			progsCex[r.Experiment] = make(map[string]bool)
+		}
+		progs[r.Experiment][r.Program] = true
+		c.Experiments++
+		c.TotalGenMicros += r.GenMicros
+		c.TotalExeMicros += r.ExeMicros
+		switch r.Verdict {
+		case "counterexample":
+			c.Counterexamples++
+			progsCex[r.Experiment][r.Program] = true
+			if c.MicrosToFirstCex < 0 {
+				c.MicrosToFirstCex = c.TotalGenMicros + c.TotalExeMicros
+			}
+		case "inconclusive":
+			c.Inconclusive++
+		}
+	}
+	for name, c := range out {
+		c.Programs = len(progs[name])
+		c.ProgramsWithCex = len(progsCex[name])
+	}
+	return out
+}
+
+// Names returns the campaign names in sorted order.
+func Names(m map[string]*Campaign) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Checklist compares a refined campaign against its unguided baseline in
+// the terms of §A.6.1.
+type Checklist struct {
+	Unguided, Refined *Campaign
+
+	// ProgramFactor = refined programs-with-counterexamples / unguided
+	// (Inf when the unguided baseline found none).
+	ProgramFactor float64
+	// CexFactor = refined counterexamples / unguided (Inf as above).
+	CexFactor float64
+	// TTCSpeedup = unguided time-to-counterexample / refined (Inf when the
+	// unguided baseline never found one; 0 when neither did).
+	TTCSpeedup float64
+}
+
+// Compare builds the checklist for a (unguided, refined) campaign pair.
+func Compare(unguided, refined *Campaign) *Checklist {
+	c := &Checklist{Unguided: unguided, Refined: refined}
+	c.ProgramFactor = ratio(float64(refined.ProgramsWithCex), float64(unguided.ProgramsWithCex))
+	c.CexFactor = ratio(float64(refined.Counterexamples), float64(unguided.Counterexamples))
+	switch {
+	case refined.MicrosToFirstCex < 0:
+		c.TTCSpeedup = 0
+	case unguided.MicrosToFirstCex < 0:
+		c.TTCSpeedup = math.Inf(1)
+	default:
+		c.TTCSpeedup = ratio(float64(unguided.MicrosToFirstCex), float64(refined.MicrosToFirstCex))
+	}
+	return c
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// String renders the checklist as the paper phrases it.
+func (c *Checklist) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "with refinement in place (%s vs %s):\n", c.Refined.Name, c.Unguided.Name)
+	fmt.Fprintf(&sb, "  programs with counterexamples: %s more (%d vs %d)\n",
+		factor(c.ProgramFactor), c.Refined.ProgramsWithCex, c.Unguided.ProgramsWithCex)
+	fmt.Fprintf(&sb, "  counterexamples:               %s more (%d vs %d)\n",
+		factor(c.CexFactor), c.Refined.Counterexamples, c.Unguided.Counterexamples)
+	fmt.Fprintf(&sb, "  time to first counterexample:  %s faster\n", factor(c.TTCSpeedup))
+	return sb.String()
+}
+
+func factor(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "∞×"
+	case f == 0:
+		return "0×"
+	default:
+		return fmt.Sprintf("~%.1f×", f)
+	}
+}
+
+// FormatCampaigns renders a per-campaign summary table.
+func FormatCampaigns(m map[string]*Campaign) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %8s %8s %8s %8s %8s %10s %10s\n",
+		"campaign", "progs", "p.w.cex", "exps", "cex", "inconcl", "avg-gen", "avg-exe")
+	for _, name := range Names(m) {
+		c := m[name]
+		fmt.Fprintf(&sb, "%-32s %8d %8d %8d %8d %8d %9.0fµs %9.0fµs\n",
+			c.Name, c.Programs, c.ProgramsWithCex, c.Experiments,
+			c.Counterexamples, c.Inconclusive, c.AvgGenMicros(), c.AvgExeMicros())
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scamv/internal/logdb"
+)
+
+func recs() []logdb.Record {
+	return []logdb.Record{
+		// Unguided campaign: 1 counterexample late.
+		{Experiment: "u", Program: "p0", Verdict: "indistinguishable", GenMicros: 100, ExeMicros: 50},
+		{Experiment: "u", Program: "p0", Verdict: "inconclusive", GenMicros: 100, ExeMicros: 50},
+		{Experiment: "u", Program: "p1", Verdict: "counterexample", GenMicros: 100, ExeMicros: 50},
+		{Experiment: "u", Program: "p1", Verdict: "indistinguishable", GenMicros: 100, ExeMicros: 50},
+		// Refined campaign: counterexample immediately, more of them.
+		{Experiment: "r", Program: "p0", Verdict: "counterexample", GenMicros: 10, ExeMicros: 40},
+		{Experiment: "r", Program: "p1", Verdict: "counterexample", GenMicros: 10, ExeMicros: 40},
+		{Experiment: "r", Program: "p1", Verdict: "counterexample", GenMicros: 10, ExeMicros: 40},
+		{Experiment: "r", Program: "p2", Verdict: "indistinguishable", GenMicros: 10, ExeMicros: 40},
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	m := Aggregate(recs())
+	u, r := m["u"], m["r"]
+	if u == nil || r == nil {
+		t.Fatalf("campaigns: %v", Names(m))
+	}
+	if u.Programs != 2 || u.ProgramsWithCex != 1 || u.Experiments != 4 ||
+		u.Counterexamples != 1 || u.Inconclusive != 1 {
+		t.Errorf("unguided aggregate: %+v", u)
+	}
+	if r.Programs != 3 || r.ProgramsWithCex != 2 || r.Counterexamples != 3 {
+		t.Errorf("refined aggregate: %+v", r)
+	}
+	// TTC: unguided found its first counterexample on record 3:
+	// 3 * 150 = 450 µs cumulative.
+	if u.MicrosToFirstCex != 450 {
+		t.Errorf("unguided TTC: %d", u.MicrosToFirstCex)
+	}
+	if r.MicrosToFirstCex != 50 {
+		t.Errorf("refined TTC: %d", r.MicrosToFirstCex)
+	}
+	if u.AvgGenMicros() != 100 || u.AvgExeMicros() != 50 {
+		t.Errorf("averages: %f %f", u.AvgGenMicros(), u.AvgExeMicros())
+	}
+	if got := r.CexRate(); got != 0.75 {
+		t.Errorf("cex rate: %f", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	m := Aggregate(recs())
+	c := Compare(m["u"], m["r"])
+	if c.ProgramFactor != 2 {
+		t.Errorf("program factor: %f", c.ProgramFactor)
+	}
+	if c.CexFactor != 3 {
+		t.Errorf("cex factor: %f", c.CexFactor)
+	}
+	if c.TTCSpeedup != 9 {
+		t.Errorf("ttc speedup: %f", c.TTCSpeedup)
+	}
+	out := c.String()
+	for _, want := range []string{"~2.0×", "~3.0×", "~9.0×"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("checklist missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareDegenerateCases(t *testing.T) {
+	// Unguided found nothing: factors are infinite.
+	u := &Campaign{Name: "u", MicrosToFirstCex: -1}
+	r := &Campaign{Name: "r", Counterexamples: 5, ProgramsWithCex: 2, MicrosToFirstCex: 10}
+	c := Compare(u, r)
+	if !math.IsInf(c.CexFactor, 1) || !math.IsInf(c.TTCSpeedup, 1) {
+		t.Errorf("expected infinite factors: %+v", c)
+	}
+	// Neither found anything.
+	r2 := &Campaign{Name: "r2", MicrosToFirstCex: -1}
+	c2 := Compare(u, r2)
+	if c2.TTCSpeedup != 0 || c2.CexFactor != 0 {
+		t.Errorf("expected zero factors: %+v", c2)
+	}
+}
+
+func TestFormatCampaigns(t *testing.T) {
+	out := FormatCampaigns(Aggregate(recs()))
+	if !strings.Contains(out, "campaign") || !strings.Contains(out, "r") {
+		t.Errorf("format:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines", len(lines))
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	m := map[string]*Campaign{"b": {}, "a": {}, "c": {}}
+	n := Names(m)
+	if n[0] != "a" || n[1] != "b" || n[2] != "c" {
+		t.Errorf("names: %v", n)
+	}
+}
+
+func TestDiffPatterns(t *testing.T) {
+	recs := []logdb.Record{
+		{Experiment: "r", Verdict: "counterexample", Diff: []string{"x5", "mem"}},
+		{Experiment: "r", Verdict: "counterexample", Diff: []string{"x5", "mem"}},
+		{Experiment: "r", Verdict: "counterexample", Diff: []string{"x0"}},
+		{Experiment: "r", Verdict: "indistinguishable", Diff: []string{"x9"}},
+		{Experiment: "other", Verdict: "counterexample", Diff: []string{"x1"}},
+	}
+	p := DiffPatterns(recs, "r")
+	if p["x5,mem"] != 2 || p["x0"] != 1 || len(p) != 2 {
+		t.Errorf("patterns: %v", p)
+	}
+	out := FormatPatterns(p)
+	if !strings.Contains(out, "differ in {x5,mem}") {
+		t.Errorf("format:\n%s", out)
+	}
+	// Most frequent first.
+	if strings.Index(out, "x5,mem") > strings.Index(out, "{x0}") {
+		t.Errorf("ordering:\n%s", out)
+	}
+}

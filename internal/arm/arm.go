@@ -1,0 +1,297 @@
+// Package arm defines the AArch64 subset used by the test-case pipeline:
+// the program generators emit arm programs, internal/lifter translates them
+// to BIR for symbolic execution, and internal/micro executes them on the
+// Cortex-A53-like microarchitectural simulator.
+//
+// The subset covers the instructions the paper's templates need: moves,
+// register/immediate ALU operations, shifts, loads and stores with
+// register+register or register+immediate addressing, compare and test,
+// conditional and unconditional branches, and halt.
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a general-purpose 64-bit register X0..X30; XZR (31) reads as zero.
+type Reg uint8
+
+// XZR is the zero register.
+const XZR Reg = 31
+
+// NumRegs is the number of addressable registers including XZR.
+const NumRegs = 32
+
+// X returns the n-th general-purpose register.
+func X(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("arm: no register x%d", n))
+	}
+	return Reg(n)
+}
+
+func (r Reg) String() string {
+	if r == XZR {
+		return "xzr"
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// Op enumerates the instruction opcodes of the subset.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	MOVZ Op = iota // movz xd, #imm
+	MOVR           // mov xd, xn
+	ADDI           // add xd, xn, #imm
+	ADDR           // add xd, xn, xm
+	SUBI           // sub xd, xn, #imm
+	SUBR           // sub xd, xn, xm
+	ANDI           // and xd, xn, #imm
+	ANDR           // and xd, xn, xm
+	ORRR           // orr xd, xn, xm
+	EORR           // eor xd, xn, xm
+	LSLI           // lsl xd, xn, #imm
+	LSRI           // lsr xd, xn, #imm
+	MULR           // mul xd, xn, xm
+	LDRR           // ldr xd, [xn, xm]
+	LDRI           // ldr xd, [xn, #imm]
+	STRR           // str xd, [xn, xm]
+	STRI           // str xd, [xn, #imm]
+	CMPR           // cmp xn, xm
+	CMPI           // cmp xn, #imm
+	TSTI           // tst xn, #imm
+	B              // b label
+	BCC            // b.<cond> label
+	HLT            // hlt (end of experiment)
+	NOP            // nop
+)
+
+var opNames = [...]string{
+	"movz", "mov", "add", "add", "sub", "sub", "and", "and", "orr", "eor",
+	"lsl", "lsr", "mul", "ldr", "ldr", "str", "str", "cmp", "cmp", "tst",
+	"b", "b.", "hlt", "nop",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Cond is an AArch64 condition code.
+type Cond uint8
+
+// Condition codes (subset; signed, unsigned and equality forms).
+const (
+	EQ Cond = iota
+	NE
+	HS // unsigned >=
+	LO // unsigned <
+	HI // unsigned >
+	LS // unsigned <=
+	GE // signed >=
+	LT // signed <
+	GT // signed >
+	LE // signed <=
+)
+
+var condNames = [...]string{"eq", "ne", "hs", "lo", "hi", "ls", "ge", "lt", "gt", "le"}
+
+func (c Cond) String() string { return condNames[c] }
+
+// Invert returns the negated condition.
+func (c Cond) Invert() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case HS:
+		return LO
+	case LO:
+		return HS
+	case HI:
+		return LS
+	case LS:
+		return HI
+	case GE:
+		return LT
+	case LT:
+		return GE
+	case GT:
+		return LE
+	case LE:
+		return GT
+	}
+	panic("arm: unknown condition")
+}
+
+// Holds evaluates the condition against compare operands a and b (the
+// semantics of cmp a, b followed by b.<cond>).
+func (c Cond) Holds(a, b uint64) bool {
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case HS:
+		return a >= b
+	case LO:
+		return a < b
+	case HI:
+		return a > b
+	case LS:
+		return a <= b
+	case GE:
+		return int64(a) >= int64(b)
+	case LT:
+		return int64(a) < int64(b)
+	case GT:
+		return int64(a) > int64(b)
+	case LE:
+		return int64(a) <= int64(b)
+	}
+	panic("arm: unknown condition")
+}
+
+// Instr is one instruction. Fields are used according to the opcode; Label
+// names a branch target.
+type Instr struct {
+	Op         Op
+	Rd, Rn, Rm Reg
+	Imm        uint64
+	Cond       Cond
+	Label      string
+}
+
+// String renders the instruction in assembly syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case MOVZ:
+		return fmt.Sprintf("movz %s, #%#x", i.Rd, i.Imm)
+	case MOVR:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rn)
+	case ADDI:
+		return fmt.Sprintf("add %s, %s, #%#x", i.Rd, i.Rn, i.Imm)
+	case ADDR:
+		return fmt.Sprintf("add %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case SUBI:
+		return fmt.Sprintf("sub %s, %s, #%#x", i.Rd, i.Rn, i.Imm)
+	case SUBR:
+		return fmt.Sprintf("sub %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case ANDI:
+		return fmt.Sprintf("and %s, %s, #%#x", i.Rd, i.Rn, i.Imm)
+	case ANDR:
+		return fmt.Sprintf("and %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case ORRR:
+		return fmt.Sprintf("orr %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case EORR:
+		return fmt.Sprintf("eor %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case LSLI:
+		return fmt.Sprintf("lsl %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case LSRI:
+		return fmt.Sprintf("lsr %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case MULR:
+		return fmt.Sprintf("mul %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case LDRR:
+		return fmt.Sprintf("ldr %s, [%s, %s]", i.Rd, i.Rn, i.Rm)
+	case LDRI:
+		if i.Imm == 0 {
+			return fmt.Sprintf("ldr %s, [%s]", i.Rd, i.Rn)
+		}
+		return fmt.Sprintf("ldr %s, [%s, #%#x]", i.Rd, i.Rn, i.Imm)
+	case STRR:
+		return fmt.Sprintf("str %s, [%s, %s]", i.Rd, i.Rn, i.Rm)
+	case STRI:
+		if i.Imm == 0 {
+			return fmt.Sprintf("str %s, [%s]", i.Rd, i.Rn)
+		}
+		return fmt.Sprintf("str %s, [%s, #%#x]", i.Rd, i.Rn, i.Imm)
+	case CMPR:
+		return fmt.Sprintf("cmp %s, %s", i.Rn, i.Rm)
+	case CMPI:
+		return fmt.Sprintf("cmp %s, #%#x", i.Rn, i.Imm)
+	case TSTI:
+		return fmt.Sprintf("tst %s, #%#x", i.Rn, i.Imm)
+	case B:
+		return "b " + i.Label
+	case BCC:
+		return fmt.Sprintf("b.%s %s", i.Cond, i.Label)
+	case HLT:
+		return "hlt"
+	case NOP:
+		return "nop"
+	}
+	panic(fmt.Sprintf("arm: unknown opcode %d", i.Op))
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (i Instr) IsLoad() bool { return i.Op == LDRR || i.Op == LDRI }
+
+// IsStore reports whether the instruction writes memory.
+func (i Instr) IsStore() bool { return i.Op == STRR || i.Op == STRI }
+
+// IsBranch reports whether the instruction transfers control.
+func (i Instr) IsBranch() bool { return i.Op == B || i.Op == BCC }
+
+// Program is a sequence of instructions with labels attached to positions.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	// Labels maps a label to the index of the instruction it precedes
+	// (len(Instrs) labels the end).
+	Labels map[string]int
+}
+
+// NewProgram returns an empty named program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Labels: make(map[string]int)}
+}
+
+// Add appends instructions.
+func (p *Program) Add(is ...Instr) *Program {
+	p.Instrs = append(p.Instrs, is...)
+	return p
+}
+
+// Mark attaches a label to the current end of the program.
+func (p *Program) Mark(label string) *Program {
+	p.Labels[label] = len(p.Instrs)
+	return p
+}
+
+// Target resolves a label to an instruction index.
+func (p *Program) Target(label string) (int, bool) {
+	i, ok := p.Labels[label]
+	return i, ok
+}
+
+// Validate checks that all branch targets resolve.
+func (p *Program) Validate() error {
+	for idx, ins := range p.Instrs {
+		if ins.IsBranch() {
+			if _, ok := p.Labels[ins.Label]; !ok {
+				return fmt.Errorf("arm: %s: instruction %d branches to unknown label %q", p.Name, idx, ins.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the program as assembly text (parsable by Parse).
+func (p *Program) String() string {
+	// Invert the label map: position -> labels.
+	at := make(map[int][]string)
+	for l, i := range p.Labels {
+		at[i] = append(at[i], l)
+	}
+	var sb strings.Builder
+	for i := 0; i <= len(p.Instrs); i++ {
+		for _, l := range at[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		if i < len(p.Instrs) {
+			fmt.Fprintf(&sb, "    %s\n", p.Instrs[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src := `
+    start:
+        movz x0, #0x40
+        mov x1, x0
+        add x2, x0, #0x8
+        add x3, x0, x1
+        sub x4, x3, x2
+        and x5, x4, #0xff
+        orr x6, x5, x1
+        eor x7, x6, x5
+        lsl x8, x7, #3
+        lsr x9, x8, #2
+        mul x10, x9, x1
+        ldr x11, [x0]
+        ldr x12, [x0, #0x40]
+        ldr x13, [x0, x1]
+        str x11, [x2]
+        str x12, [x2, x3]
+        cmp x1, x2
+        b.lo taken
+        cmp x1, #0x5
+        tst x1, #0x80
+        b end
+    taken:
+        nop
+    end:
+        hlt
+    `
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip: print and reparse, instruction streams must match.
+	p2, err := Parse("t2", p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\nsource:\n%s", err, p.String())
+	}
+	if len(p.Instrs) != len(p2.Instrs) {
+		t.Fatalf("round trip changed length: %d vs %d", len(p.Instrs), len(p2.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Instrs[i], p2.Instrs[i])
+		}
+	}
+	for l, idx := range p.Labels {
+		if p2.Labels[l] != idx {
+			t.Errorf("label %s: %d vs %d", l, idx, p2.Labels[l])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus x0, x1",
+		"add x0",
+		"ldr x0, x1",     // missing brackets
+		"b nowhere",      // unresolved label
+		"b.zz somewhere", // bad condition
+		"movz x99, #1",   // bad register
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{EQ, 5, 5, true},
+		{NE, 5, 5, false},
+		{HS, 5, 5, true},
+		{LO, 4, 5, true},
+		{HI, 5, 4, true},
+		{LS, 5, 5, true},
+		{LT, ^uint64(0), 0, true},  // -1 < 0 signed
+		{LO, ^uint64(0), 0, false}, // but not unsigned
+		{GE, 0, ^uint64(0), true},  // 0 >= -1 signed
+		{GT, 1, ^uint64(0), true},
+		{LE, ^uint64(0), ^uint64(0), true},
+	}
+	for i, c := range cases {
+		if got := c.c.Holds(c.a, c.b); got != c.want {
+			t.Errorf("case %d: %v.Holds(%d,%d) = %v", i, c.c, int64(c.a), int64(c.b), got)
+		}
+	}
+}
+
+func TestCondInvert(t *testing.T) {
+	for c := EQ; c <= LE; c++ {
+		inv := c.Invert()
+		for _, pair := range [][2]uint64{{0, 0}, {1, 2}, {2, 1}, {^uint64(0), 1}, {1, ^uint64(0)}} {
+			if c.Holds(pair[0], pair[1]) == inv.Holds(pair[0], pair[1]) {
+				t.Errorf("%v and %v agree on (%d,%d)", c, inv, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	p, err := Parse("z", "mov x0, xzr\nldr x1, [xzr, x2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Rn != XZR {
+		t.Error("xzr should parse as the zero register")
+	}
+	if !strings.Contains(p.Instrs[1].String(), "xzr") {
+		t.Error("xzr should print as xzr")
+	}
+}
+
+func TestLabelsAtSamePosition(t *testing.T) {
+	p, err := Parse("l", "a: b: nop\nb a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
+		t.Errorf("labels: %v", p.Labels)
+	}
+}

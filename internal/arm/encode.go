@@ -1,0 +1,413 @@
+package arm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements genuine A64 machine-code encoding and decoding for
+// the instruction subset, so that generated test programs exist as real
+// binaries: the pipeline's input is binary code, as in the original
+// framework where HolBA transpiles binaries. Programs round-trip
+// Encode ∘ Decode = id; branch targets are PC-relative.
+//
+// Encodings follow the Arm Architecture Reference Manual for A64 (64-bit
+// variants throughout). Logical immediates use the (N, immr, imms) bitmask
+// encoding; immediates that are not legal bitmask immediates (or 12-bit
+// arithmetic immediates, or 16-bit move immediates) are rejected by Encode.
+
+// EncodeInstr encodes one instruction at byte offset pc (used for
+// PC-relative branches; target is the byte offset of the branch target).
+func EncodeInstr(ins Instr, pc, target int) (uint32, error) {
+	rd, rn, rm := uint32(ins.Rd), uint32(ins.Rn), uint32(ins.Rm)
+	switch ins.Op {
+	case NOP:
+		return 0xD503201F, nil
+	case HLT:
+		return 0xD4400000, nil // HLT #0
+	case MOVZ:
+		if ins.Imm>>16 != 0 {
+			return 0, fmt.Errorf("arm: movz immediate %#x exceeds 16 bits", ins.Imm)
+		}
+		return 0xD2800000 | uint32(ins.Imm)<<5 | rd, nil
+	case MOVR:
+		// MOV Xd, Xn is ORR Xd, XZR, Xn.
+		return 0xAA0003E0 | rn<<16 | rd, nil
+	case ADDI, SUBI:
+		if ins.Imm > 0xfff {
+			return 0, fmt.Errorf("arm: arithmetic immediate %#x exceeds 12 bits", ins.Imm)
+		}
+		base := uint32(0x91000000) // ADD (immediate), 64-bit
+		if ins.Op == SUBI {
+			base = 0xD1000000
+		}
+		return base | uint32(ins.Imm)<<10 | rn<<5 | rd, nil
+	case ADDR:
+		return 0x8B000000 | rm<<16 | rn<<5 | rd, nil
+	case SUBR:
+		return 0xCB000000 | rm<<16 | rn<<5 | rd, nil
+	case ANDR:
+		return 0x8A000000 | rm<<16 | rn<<5 | rd, nil
+	case ORRR:
+		return 0xAA000000 | rm<<16 | rn<<5 | rd, nil
+	case EORR:
+		return 0xCA000000 | rm<<16 | rn<<5 | rd, nil
+	case ANDI, TSTI:
+		n, immr, imms, ok := encodeBitmask(ins.Imm)
+		if !ok {
+			return 0, fmt.Errorf("arm: %#x is not a legal logical immediate", ins.Imm)
+		}
+		if ins.Op == TSTI {
+			// ANDS XZR, Xn, #imm
+			return 0xF2000000 | n<<22 | immr<<16 | imms<<10 | rn<<5 | 31, nil
+		}
+		return 0x92000000 | n<<22 | immr<<16 | imms<<10 | rn<<5 | rd, nil
+	case LSLI:
+		if ins.Imm > 63 {
+			return 0, fmt.Errorf("arm: shift %d out of range", ins.Imm)
+		}
+		// LSL is UBFM Xd, Xn, #(-sh mod 64), #(63-sh).
+		immr := uint32(64-ins.Imm) % 64
+		imms := uint32(63 - ins.Imm)
+		return 0xD3400000 | immr<<16 | imms<<10 | rn<<5 | rd, nil
+	case LSRI:
+		if ins.Imm > 63 {
+			return 0, fmt.Errorf("arm: shift %d out of range", ins.Imm)
+		}
+		// LSR is UBFM Xd, Xn, #sh, #63.
+		return 0xD3400000 | uint32(ins.Imm)<<16 | 63<<10 | rn<<5 | rd, nil
+	case MULR:
+		// MUL is MADD Xd, Xn, Xm, XZR.
+		return 0x9B007C00 | rm<<16 | rn<<5 | rd, nil
+	case LDRR:
+		// LDR Xt, [Xn, Xm] (register offset, option LSL #0).
+		return 0xF8606800 | rm<<16 | rn<<5 | rd, nil
+	case STRR:
+		return 0xF8206800 | rm<<16 | rn<<5 | rd, nil
+	case LDRI, STRI:
+		if ins.Imm%8 != 0 || ins.Imm/8 > 0xfff {
+			return 0, fmt.Errorf("arm: load/store offset %#x not encodable (8-byte scaled, 12 bits)", ins.Imm)
+		}
+		base := uint32(0xF9400000) // LDR (unsigned offset)
+		if ins.Op == STRI {
+			base = 0xF9000000
+		}
+		return base | uint32(ins.Imm/8)<<10 | rn<<5 | rd, nil
+	case CMPR:
+		// SUBS XZR, Xn, Xm.
+		return 0xEB00001F | rm<<16 | rn<<5, nil
+	case CMPI:
+		if ins.Imm > 0xfff {
+			return 0, fmt.Errorf("arm: compare immediate %#x exceeds 12 bits", ins.Imm)
+		}
+		return 0xF100001F | uint32(ins.Imm)<<10 | rn<<5, nil
+	case B:
+		off := int32(target-pc) / 4
+		if off < -(1<<25) || off >= 1<<25 {
+			return 0, fmt.Errorf("arm: branch offset %d out of range", off)
+		}
+		return 0x14000000 | uint32(off)&0x3FFFFFF, nil
+	case BCC:
+		off := int32(target-pc) / 4
+		if off < -(1<<18) || off >= 1<<18 {
+			return 0, fmt.Errorf("arm: conditional branch offset %d out of range", off)
+		}
+		return 0x54000000 | (uint32(off)&0x7FFFF)<<5 | condCode(ins.Cond), nil
+	}
+	return 0, fmt.Errorf("arm: cannot encode %s", ins)
+}
+
+// A64 condition code numbers.
+func condCode(c Cond) uint32 {
+	switch c {
+	case EQ:
+		return 0
+	case NE:
+		return 1
+	case HS:
+		return 2
+	case LO:
+		return 3
+	case HI:
+		return 8
+	case LS:
+		return 9
+	case GE:
+		return 10
+	case LT:
+		return 11
+	case GT:
+		return 12
+	case LE:
+		return 13
+	}
+	panic("arm: unknown condition")
+}
+
+func condFromCode(code uint32) (Cond, bool) {
+	switch code {
+	case 0:
+		return EQ, true
+	case 1:
+		return NE, true
+	case 2:
+		return HS, true
+	case 3:
+		return LO, true
+	case 8:
+		return HI, true
+	case 9:
+		return LS, true
+	case 10:
+		return GE, true
+	case 11:
+		return LT, true
+	case 12:
+		return GT, true
+	case 13:
+		return LE, true
+	}
+	return 0, false
+}
+
+// encodeBitmask produces the A64 (N, immr, imms) fields for a 64-bit
+// logical immediate, or ok=false if the value is not encodable (all-zeros
+// and all-ones are not legal logical immediates).
+func encodeBitmask(v uint64) (n, immr, imms uint32, ok bool) {
+	if v == 0 || v == ^uint64(0) {
+		return 0, 0, 0, false
+	}
+	for esize := uint(2); esize <= 64; esize *= 2 {
+		emask := uint64(1)<<esize - 1
+		if esize < 64 {
+			// The value must be a replication of its low esize bits.
+			elem := v & emask
+			rep := elem
+			for sh := esize; sh < 64; sh += esize {
+				rep |= elem << sh
+			}
+			if rep != v {
+				continue
+			}
+		}
+		elem := v & emask
+		if esize == 64 {
+			elem = v
+		}
+		// elem must be a rotation of a contiguous run of ones.
+		ones := uint(bits.OnesCount64(elem))
+		if ones == 0 || ones == esize {
+			continue
+		}
+		// Rotate so the run is in the low bits: find the rotation r with
+		// elem == ror(lowOnes, r), i.e. rol(elem, r) == lowOnes.
+		low := uint64(1)<<ones - 1
+		for r := uint(0); r < esize; r++ {
+			rot := rolField(elem, r, esize)
+			if rot == low {
+				// immr = rotation amount, imms encodes esize and run length.
+				immsField := uint32(ones - 1)
+				switch esize {
+				case 2:
+					immsField |= 0x3C // 1111 0x
+				case 4:
+					immsField |= 0x38 // 1110 xx
+				case 8:
+					immsField |= 0x30 // 110x xx
+				case 16:
+					immsField |= 0x20 // 10xx xx
+				case 32:
+					immsField |= 0x00 // 0xxx xx
+				case 64:
+					n = 1
+				}
+				return n, uint32(r), immsField, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	return 0, 0, 0, false
+}
+
+// rolField rotates the low esize bits of v left by r.
+func rolField(v uint64, r, esize uint) uint64 {
+	mask := uint64(1)<<esize - 1
+	if esize == 64 {
+		mask = ^uint64(0)
+	}
+	v &= mask
+	if r == 0 {
+		return v
+	}
+	return (v<<r | v>>(esize-r)) & mask
+}
+
+// decodeBitmask expands (N, immr, imms) back into the 64-bit immediate.
+func decodeBitmask(n, immr, imms uint32) (uint64, bool) {
+	// len = position of highest set bit of N:NOT(imms) (7 bits).
+	combined := n<<6 | (^imms & 0x3F)
+	if combined == 0 {
+		return 0, false
+	}
+	length := 31 - uint(bits.LeadingZeros32(combined))
+	esize := uint(1) << length
+	if esize < 2 {
+		return 0, false
+	}
+	s := uint(imms) & (esize - 1)
+	if s == esize-1 {
+		return 0, false
+	}
+	elem := uint64(1)<<(s+1) - 1
+	r := uint(immr) & (esize - 1)
+	elem = rorField(elem, r, esize)
+	// Replicate to 64 bits.
+	out := elem
+	for sh := esize; sh < 64; sh += esize {
+		out |= elem << sh
+	}
+	return out, true
+}
+
+func rorField(v uint64, r, esize uint) uint64 {
+	mask := uint64(1)<<esize - 1
+	if esize == 64 {
+		mask = ^uint64(0)
+	}
+	v &= mask
+	if r == 0 {
+		return v
+	}
+	return (v>>r | v<<(esize-r)) & mask
+}
+
+// Encode assembles the whole program into A64 machine code, one 32-bit
+// word per instruction.
+func Encode(p *Program) ([]uint32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	words := make([]uint32, len(p.Instrs))
+	for i, ins := range p.Instrs {
+		target := 0
+		if ins.IsBranch() {
+			target = p.Labels[ins.Label] * 4
+		}
+		w, err := EncodeInstr(ins, i*4, target)
+		if err != nil {
+			return nil, fmt.Errorf("arm: instruction %d (%s): %w", i, ins, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeInstr decodes one word at byte offset pc. Branch instructions get
+// synthetic labels "L<byte offset>" pointing at their target.
+func DecodeInstr(w uint32, pc int) (Instr, error) {
+	rd := Reg(w & 0x1F)
+	rn := Reg(w >> 5 & 0x1F)
+	rm := Reg(w >> 16 & 0x1F)
+	switch {
+	case w == 0xD503201F:
+		return Instr{Op: NOP}, nil
+	case w&0xFFE0001F == 0xD4400000:
+		return Instr{Op: HLT}, nil
+	case w&0xFFE00000 == 0xD2800000:
+		return Instr{Op: MOVZ, Rd: rd, Imm: uint64(w >> 5 & 0xFFFF)}, nil
+	case w&0xFFE0FFE0 == 0xAA0003E0:
+		return Instr{Op: MOVR, Rd: rd, Rn: rm}, nil
+	case w&0xFFC00000 == 0x91000000:
+		return Instr{Op: ADDI, Rd: rd, Rn: rn, Imm: uint64(w >> 10 & 0xFFF)}, nil
+	case w&0xFFC00000 == 0xD1000000:
+		return Instr{Op: SUBI, Rd: rd, Rn: rn, Imm: uint64(w >> 10 & 0xFFF)}, nil
+	case w&0xFFE0FC00 == 0x8B000000:
+		return Instr{Op: ADDR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0xCB000000:
+		return Instr{Op: SUBR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0x8A000000:
+		return Instr{Op: ANDR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0xAA000000:
+		return Instr{Op: ORRR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0xCA000000:
+		return Instr{Op: EORR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFC0001F == 0xF200001F:
+		imm, ok := decodeBitmask(w>>22&1, w>>16&0x3F, w>>10&0x3F)
+		if !ok {
+			return Instr{}, fmt.Errorf("arm: bad bitmask immediate in %#08x", w)
+		}
+		return Instr{Op: TSTI, Rn: rn, Imm: imm}, nil
+	case w&0xFFC00000 == 0x92000000:
+		imm, ok := decodeBitmask(w>>22&1, w>>16&0x3F, w>>10&0x3F)
+		if !ok {
+			return Instr{}, fmt.Errorf("arm: bad bitmask immediate in %#08x", w)
+		}
+		return Instr{Op: ANDI, Rd: rd, Rn: rn, Imm: imm}, nil
+	case w&0xFFC00000 == 0xD3400000:
+		immr := uint64(w >> 16 & 0x3F)
+		imms := uint64(w >> 10 & 0x3F)
+		if imms == 63 {
+			return Instr{Op: LSRI, Rd: rd, Rn: rn, Imm: immr}, nil
+		}
+		if immr == (64-(63-imms))%64 {
+			return Instr{Op: LSLI, Rd: rd, Rn: rn, Imm: 63 - imms}, nil
+		}
+		return Instr{}, fmt.Errorf("arm: unsupported UBFM %#08x", w)
+	case w&0xFFE0FC00 == 0x9B007C00:
+		return Instr{Op: MULR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0xF8606800:
+		return Instr{Op: LDRR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFE0FC00 == 0xF8206800:
+		return Instr{Op: STRR, Rd: rd, Rn: rn, Rm: rm}, nil
+	case w&0xFFC00000 == 0xF9400000:
+		return Instr{Op: LDRI, Rd: rd, Rn: rn, Imm: uint64(w>>10&0xFFF) * 8}, nil
+	case w&0xFFC00000 == 0xF9000000:
+		return Instr{Op: STRI, Rd: rd, Rn: rn, Imm: uint64(w>>10&0xFFF) * 8}, nil
+	case w&0xFFE0FC1F == 0xEB00001F:
+		return Instr{Op: CMPR, Rn: rn, Rm: rm}, nil
+	case w&0xFFC0001F == 0xF100001F:
+		return Instr{Op: CMPI, Rn: rn, Imm: uint64(w >> 10 & 0xFFF)}, nil
+	case w&0xFC000000 == 0x14000000:
+		off := int32(w<<6) >> 6 // sign-extend 26 bits
+		return Instr{Op: B, Label: fmt.Sprintf("L%d", pc+int(off)*4)}, nil
+	case w&0xFF000010 == 0x54000000:
+		cond, ok := condFromCode(w & 0xF)
+		if !ok {
+			return Instr{}, fmt.Errorf("arm: unsupported condition in %#08x", w)
+		}
+		off := int32(w<<8) >> 13 // sign-extend 19 bits from bit 5
+		return Instr{Op: BCC, Cond: cond, Label: fmt.Sprintf("L%d", pc+int(off)*4)}, nil
+	}
+	return Instr{}, fmt.Errorf("arm: cannot decode %#08x", w)
+}
+
+// Decode disassembles machine code into a program; branch targets become
+// labels at the corresponding instruction positions.
+func Decode(name string, words []uint32) (*Program, error) {
+	p := NewProgram(name)
+	labels := map[int]bool{}
+	for i, w := range words {
+		ins, err := DecodeInstr(w, i*4)
+		if err != nil {
+			return nil, fmt.Errorf("arm: word %d: %w", i, err)
+		}
+		if ins.IsBranch() {
+			var off int
+			if _, err := fmt.Sscanf(ins.Label, "L%d", &off); err != nil {
+				return nil, err
+			}
+			labels[off] = true
+		}
+		p.Add(ins)
+	}
+	for off := range labels {
+		if off%4 != 0 || off < 0 || off > len(words)*4 {
+			return nil, fmt.Errorf("arm: branch target %d outside the program", off)
+		}
+		p.Labels[fmt.Sprintf("L%d", off)] = off / 4
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

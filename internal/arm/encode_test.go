@@ -1,0 +1,241 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Golden encodings cross-checked against standard A64 assembler output.
+func TestGoldenEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"nop", 0xD503201F},
+		{"movz x0, #1", 0xD2800020},
+		{"mov x1, x2", 0xAA0203E1},
+		{"add x0, x1, #2", 0x91000820},
+		{"sub x3, x4, #0xfff", 0xD13FFC83},
+		{"add x0, x1, x2", 0x8B020020},
+		{"sub x0, x1, x2", 0xCB020020},
+		{"and x0, x1, x2", 0x8A020020},
+		{"orr x0, x1, x2", 0xAA020020},
+		{"eor x0, x1, x2", 0xCA020020},
+		{"mul x0, x1, x2", 0x9B027C20},
+		{"ldr x0, [x1]", 0xF9400020},
+		{"ldr x0, [x1, #8]", 0xF9400420},
+		{"ldr x0, [x1, x2]", 0xF8626820},
+		{"str x0, [x1, x2]", 0xF8226820},
+		{"str x0, [x1, #16]", 0xF9000820},
+		{"cmp x1, x2", 0xEB02003F},
+		{"cmp x1, #5", 0xF100143F},
+		{"lsl x0, x1, #4", 0xD37CEC20},
+		{"lsr x0, x1, #4", 0xD344FC20},
+		{"and x0, x1, #0xff", 0x92401C20},
+		{"tst x1, #0x80000000", 0xF261003F},
+	}
+	for _, tc := range cases {
+		p := MustParse("g", tc.src+"\nhlt")
+		words, err := Encode(p)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if words[0] != tc.want {
+			t.Errorf("%s: encoded %#08x, want %#08x", tc.src, words[0], tc.want)
+		}
+	}
+}
+
+func TestGoldenBranchEncodings(t *testing.T) {
+	// b to self: offset 0.
+	p := NewProgram("b")
+	p.Mark("self")
+	p.Add(Instr{Op: B, Label: "self"})
+	words, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0x14000000 {
+		t.Errorf("b .: %#08x", words[0])
+	}
+	// b.eq +8 (skip one instruction).
+	p2 := NewProgram("beq")
+	p2.Add(Instr{Op: BCC, Cond: EQ, Label: "t"}, Instr{Op: NOP})
+	p2.Mark("t")
+	p2.Add(Instr{Op: HLT})
+	w2, err := Encode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2[0] != 0x54000040 {
+		t.Errorf("b.eq +8: %#08x", w2[0])
+	}
+}
+
+// TestBitmaskRoundTrip enumerates every legal (N, immr, imms) field
+// combination: decoding then re-encoding must reproduce the same immediate.
+func TestBitmaskRoundTrip(t *testing.T) {
+	seen := map[uint64]bool{}
+	count := 0
+	for n := uint32(0); n <= 1; n++ {
+		for immr := uint32(0); immr < 64; immr++ {
+			for imms := uint32(0); imms < 64; imms++ {
+				v, ok := decodeBitmask(n, immr, imms)
+				if !ok {
+					continue
+				}
+				count++
+				seen[v] = true
+				n2, immr2, imms2, ok2 := encodeBitmask(v)
+				if !ok2 {
+					t.Fatalf("decodable %#x (N=%d immr=%d imms=%d) not re-encodable", v, n, immr, imms)
+				}
+				v2, ok3 := decodeBitmask(n2, immr2, imms2)
+				if !ok3 || v2 != v {
+					t.Fatalf("round trip %#x -> (N=%d immr=%d imms=%d) -> %#x", v, n2, immr2, imms2, v2)
+				}
+			}
+		}
+	}
+	// The A64 logical-immediate space has 5334 distinct 64-bit values.
+	if len(seen) != 5334 {
+		t.Errorf("distinct logical immediates: %d, want 5334 (fields decoded: %d)", len(seen), count)
+	}
+	// Known encodable and non-encodable values.
+	for _, v := range []uint64{0xff, 0x80000000, 0xffff0000ffff0000, 0x5555555555555555, 1} {
+		if _, _, _, ok := encodeBitmask(v); !ok {
+			t.Errorf("%#x should be a legal logical immediate", v)
+		}
+	}
+	for _, v := range []uint64{0, ^uint64(0), 0x5, 0xdeadbeef} {
+		if _, _, _, ok := encodeBitmask(v); ok {
+			t.Errorf("%#x should NOT be a legal logical immediate", v)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip: random encodable programs survive
+// Encode → Decode with identical instruction streams.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	randIns := func() Instr {
+		reg := func() Reg { return Reg(rng.Intn(31)) } // x0..x30
+		switch rng.Intn(16) {
+		case 0:
+			return Instr{Op: MOVZ, Rd: reg(), Imm: uint64(rng.Intn(1 << 16))}
+		case 1:
+			return Instr{Op: MOVR, Rd: reg(), Rn: reg()}
+		case 2:
+			return Instr{Op: ADDI, Rd: reg(), Rn: reg(), Imm: uint64(rng.Intn(1 << 12))}
+		case 3:
+			return Instr{Op: SUBI, Rd: reg(), Rn: reg(), Imm: uint64(rng.Intn(1 << 12))}
+		case 4:
+			return Instr{Op: ADDR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 5:
+			return Instr{Op: SUBR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 6:
+			return Instr{Op: ANDR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 7:
+			return Instr{Op: ORRR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 8:
+			return Instr{Op: EORR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 9:
+			return Instr{Op: LSLI, Rd: reg(), Rn: reg(), Imm: uint64(1 + rng.Intn(63))}
+		case 10:
+			return Instr{Op: LSRI, Rd: reg(), Rn: reg(), Imm: uint64(1 + rng.Intn(63))}
+		case 11:
+			return Instr{Op: MULR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 12:
+			return Instr{Op: LDRR, Rd: reg(), Rn: reg(), Rm: reg()}
+		case 13:
+			return Instr{Op: LDRI, Rd: reg(), Rn: reg(), Imm: uint64(rng.Intn(1<<12)) * 8}
+		case 14:
+			return Instr{Op: STRI, Rd: reg(), Rn: reg(), Imm: uint64(rng.Intn(1<<12)) * 8}
+		default:
+			return Instr{Op: CMPR, Rn: reg(), Rm: reg()}
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		p := NewProgram("rt")
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			p.Add(randIns())
+		}
+		if rng.Intn(2) == 0 {
+			p.Add(
+				Instr{Op: CMPI, Rn: Reg(rng.Intn(31)), Imm: uint64(rng.Intn(1 << 12))},
+				Instr{Op: BCC, Cond: Cond(rng.Intn(10)), Label: "end"},
+				randIns(),
+			)
+			p.Mark("end")
+		}
+		p.Add(Instr{Op: HLT})
+
+		words, err := Encode(p)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v\n%s", iter, err, p)
+		}
+		q, err := Decode("rt", words)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v\n%s", iter, err, p)
+		}
+		if len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("iter %d: length changed", iter)
+		}
+		for i := range p.Instrs {
+			a, b := p.Instrs[i], q.Instrs[i]
+			if a.IsBranch() {
+				// Labels are renamed; compare resolved targets instead.
+				ta := p.Labels[a.Label]
+				tb := q.Labels[b.Label]
+				if a.Op != b.Op || a.Cond != b.Cond || ta != tb {
+					t.Fatalf("iter %d: branch %d mismatch: %v->%d vs %v->%d", iter, i, a, ta, b, tb)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("iter %d: instr %d: %v vs %v", iter, i, a, b)
+			}
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Instr{
+		{Op: MOVZ, Rd: 0, Imm: 1 << 16},        // too wide for movz
+		{Op: ADDI, Rd: 0, Rn: 1, Imm: 1 << 12}, // 12-bit overflow
+		{Op: ANDI, Rd: 0, Rn: 1, Imm: 0x5},     // not a bitmask immediate
+		{Op: LDRI, Rd: 0, Rn: 1, Imm: 12},      // unaligned offset
+		{Op: LDRI, Rd: 0, Rn: 1, Imm: 8 << 12}, // offset too large
+	}
+	for _, ins := range bad {
+		if _, err := EncodeInstr(ins, 0, 0); err == nil {
+			t.Errorf("expected encode error for %v", ins)
+		}
+	}
+}
+
+// TestFixedProgramsEncodable: the paper's Fig. 6 gadgets must be
+// expressible as real machine code.
+func TestFixedProgramsEncodable(t *testing.T) {
+	for _, p := range []*Program{siscloak1Fixture(), siscloak2Fixture(), spectreFixture()} {
+		if _, err := Encode(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// SiSCloak fixtures live in the gen package normally; local copies keep the
+// arm package self-contained for this test.
+func siscloak1Fixture() *Program {
+	return MustParse("siscloak1", "ldr x2, [x5, x0]\ncmp x0, x1\nb.hs end\nldr x4, [x7, x2]\nend:\nhlt")
+}
+
+func siscloak2Fixture() *Program {
+	return MustParse("siscloak2", "ldr x2, [x5, x0]\ntst x2, #0x80000000\nb.ne end\nldr x4, [x7, x2]\nend:\nhlt")
+}
+
+func spectreFixture() *Program {
+	return MustParse("spectre-pht", "cmp x0, x1\nb.hs end\nldr x2, [x5, x0]\nldr x4, [x7, x2]\nend:\nhlt")
+}

@@ -1,0 +1,75 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the assembler: it must never panic, and
+// every accepted program must validate and round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"movz x0, #1\nhlt",
+		"ldr x1, [x0, x2]\nstr x1, [x0, #8]",
+		"a: cmp x0, x1\nb.lo a\nb a",
+		"tst x3, #0x80000000\nb.ne out\nout: nop",
+		"mul x1, x2, x3\nlsl x4, x1, #63",
+		"x:y:hlt",
+		"ldr xzr, [xzr]",
+		"add x0, x0, #-1",
+		"; comment only\n// another",
+		"b.zz nowhere",
+		"ldr x1, [x0",
+		"movz x31, #0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\ninput: %q", err, src)
+		}
+		// Round-trip: the printed form must re-parse to the same program.
+		p2, err := Parse("fuzz2", p.String())
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nprinted:\n%s", err, p.String())
+		}
+		if len(p.Instrs) != len(p2.Instrs) {
+			t.Fatalf("round trip changed instruction count: %d vs %d", len(p.Instrs), len(p2.Instrs))
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("round trip changed instruction %d: %v vs %v", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+	})
+}
+
+// FuzzCondHolds checks the duality Holds(c) == !Holds(Invert(c)) over all
+// inputs.
+func FuzzCondHolds(f *testing.F) {
+	f.Add(uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(3), uint64(1), ^uint64(0))
+	f.Fuzz(func(t *testing.T, c uint8, a, b uint64) {
+		cond := Cond(c % 10)
+		if cond.Holds(a, b) == cond.Invert().Holds(a, b) {
+			t.Fatalf("%v and its inverse agree on (%d, %d)", cond, a, b)
+		}
+	})
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		strings.Repeat("[", 100),
+		"ldr x1, [x0, x1, lsl #3]", // scaled addressing not in the subset
+		"add x1",
+	} {
+		if _, err := Parse("g", src); err == nil {
+			t.Errorf("accepted garbage %q", src)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package arm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a textual program in the syntax produced by
+// Program.String: one instruction per line, "label:" lines, comments
+// starting with ";" or "//".
+func Parse(name, src string) (*Program, error) {
+	p := NewProgram(name)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,[]#") {
+				return nil, fmt.Errorf("arm: line %d: bad label %q", ln+1, label)
+			}
+			p.Mark(label)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		ins, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("arm: line %d: %v", ln+1, err)
+		}
+		p.Add(ins)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(line string) (Instr, error) {
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	rest := ""
+	if sp >= 0 {
+		mnem = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	switch {
+	case mnem == "nop":
+		return Instr{Op: NOP}, nil
+	case mnem == "hlt" || mnem == "ret":
+		return Instr{Op: HLT}, nil
+	case mnem == "b":
+		if len(ops) != 1 {
+			return Instr{}, fmt.Errorf("b needs a label")
+		}
+		return Instr{Op: B, Label: ops[0]}, nil
+	case strings.HasPrefix(mnem, "b."):
+		cond, err := parseCond(mnem[2:])
+		if err != nil {
+			return Instr{}, err
+		}
+		if len(ops) != 1 {
+			return Instr{}, fmt.Errorf("b.%s needs a label", cond)
+		}
+		return Instr{Op: BCC, Cond: cond, Label: ops[0]}, nil
+	}
+
+	switch mnem {
+	case "movz", "mov":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if isImm(ops[1]) {
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: MOVZ, Rd: rd, Imm: imm}, nil
+		}
+		rn, err := parseReg(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVR, Rd: rd, Rn: rn}, nil
+	case "add", "sub", "and", "orr", "eor", "mul", "lsl", "lsr":
+		if len(ops) != 3 {
+			return Instr{}, fmt.Errorf("%s needs 3 operands", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		rn, err := parseReg(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		if isImm(ops[2]) {
+			imm, err := parseImm(ops[2])
+			if err != nil {
+				return Instr{}, err
+			}
+			var op Op
+			switch mnem {
+			case "add":
+				op = ADDI
+			case "sub":
+				op = SUBI
+			case "and":
+				op = ANDI
+			case "lsl":
+				op = LSLI
+			case "lsr":
+				op = LSRI
+			default:
+				return Instr{}, fmt.Errorf("%s does not take an immediate", mnem)
+			}
+			return Instr{Op: op, Rd: rd, Rn: rn, Imm: imm}, nil
+		}
+		rm, err := parseReg(ops[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		var op Op
+		switch mnem {
+		case "add":
+			op = ADDR
+		case "sub":
+			op = SUBR
+		case "and":
+			op = ANDR
+		case "orr":
+			op = ORRR
+		case "eor":
+			op = EORR
+		case "mul":
+			op = MULR
+		default:
+			return Instr{}, fmt.Errorf("%s needs an immediate shift", mnem)
+		}
+		return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm}, nil
+	case "ldr", "str":
+		if len(ops) < 2 {
+			return Instr{}, fmt.Errorf("%s needs a register and an address", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		addr := strings.Join(ops[1:], ",")
+		rn, rm, imm, isReg, err := parseAddr(addr)
+		if err != nil {
+			return Instr{}, err
+		}
+		switch {
+		case mnem == "ldr" && isReg:
+			return Instr{Op: LDRR, Rd: rd, Rn: rn, Rm: rm}, nil
+		case mnem == "ldr":
+			return Instr{Op: LDRI, Rd: rd, Rn: rn, Imm: imm}, nil
+		case isReg:
+			return Instr{Op: STRR, Rd: rd, Rn: rn, Rm: rm}, nil
+		default:
+			return Instr{Op: STRI, Rd: rd, Rn: rn, Imm: imm}, nil
+		}
+	case "cmp", "tst":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		rn, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if isImm(ops[1]) {
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			if mnem == "tst" {
+				return Instr{Op: TSTI, Rn: rn, Imm: imm}, nil
+			}
+			return Instr{Op: CMPI, Rn: rn, Imm: imm}, nil
+		}
+		if mnem == "tst" {
+			return Instr{}, fmt.Errorf("tst supports only immediate operands")
+		}
+		rm, err := parseReg(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: CMPR, Rn: rn, Rm: rm}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "xzr" {
+		return XZR, nil
+	}
+	if len(s) < 2 || s[0] != 'x' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 30 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func isImm(s string) bool { return strings.HasPrefix(strings.TrimSpace(s), "#") }
+
+func parseImm(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "#")
+	neg := strings.HasPrefix(s, "-")
+	s = strings.TrimPrefix(s, "-")
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q: %v", s, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseAddr parses "[xn]", "[xn, #imm]" or "[xn, xm]".
+func parseAddr(s string) (rn, rm Reg, imm uint64, isReg bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("bad address %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	rn, err = parseReg(parts[0])
+	if err != nil {
+		return
+	}
+	switch len(parts) {
+	case 1:
+		return rn, 0, 0, false, nil
+	case 2:
+		arg := strings.TrimSpace(parts[1])
+		if isImm(arg) {
+			imm, err = parseImm(arg)
+			return rn, 0, imm, false, err
+		}
+		rm, err = parseReg(arg)
+		return rn, rm, 0, true, err
+	}
+	return 0, 0, 0, false, fmt.Errorf("bad address %q", s)
+}
+
+func parseCond(s string) (Cond, error) {
+	for c, n := range condNames {
+		if n == s {
+			return Cond(c), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown condition %q", s)
+}

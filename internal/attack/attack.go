@@ -1,0 +1,162 @@
+// Package attack mounts the concrete SiSCloak attack of the paper's §6.4:
+// after Scam-V's validation exposes the speculative leak, an attacker uses
+// Flush+Reload (§2.1) and the cycle counter (the PMC of §6.1, here the
+// simulator's cycle accounting) to recover bits of the secret value that a
+// single speculative load pushed into the cache.
+//
+// The attack loop is the classic one: (1) train the branch predictor by
+// running the victim with benign inputs, (2) flush the probe array from the
+// cache, (3) run the victim with the malicious input so the mispredicted
+// branch transiently loads B[secret], (4) reload every line of B and time
+// it — the single fast line reveals the secret at cache-line granularity.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scamv/internal/arm"
+	"scamv/internal/expr"
+	"scamv/internal/micro"
+)
+
+// Config tunes the attack.
+type Config struct {
+	// TrainRuns is the number of benign victim executions used to train
+	// the branch predictor toward the in-bounds direction.
+	TrainRuns int
+	// ProbeLines is the number of cache lines of the probe array B that
+	// the attacker reloads.
+	ProbeLines int
+	// LineSize is the cache line size in bytes.
+	LineSize uint64
+	// HitThreshold separates a cached reload from a memory reload, in
+	// cycles. Zero picks the midpoint of the machine's hit/miss costs.
+	HitThreshold uint64
+}
+
+// DefaultConfig returns attack parameters matching micro.DefaultConfig.
+func DefaultConfig() Config {
+	return Config{TrainRuns: 4, ProbeLines: 64, LineSize: 64}
+}
+
+// Result reports one Flush+Reload round.
+type Result struct {
+	// HitLines are the probe-array line indexes that reloaded fast.
+	HitLines []int
+	// Timings records the reload time of every probed line.
+	Timings []uint64
+}
+
+// Recovered returns the single recovered line index, when exactly one probe
+// line hit (the expected outcome of a successful round).
+func (r *Result) Recovered() (int, bool) {
+	if len(r.HitLines) == 1 {
+		return r.HitLines[0], true
+	}
+	return 0, false
+}
+
+// Runner drives the victim program on a machine shared between victim and
+// attacker (same core, shared L1D — the Flush+Reload setting).
+type Runner struct {
+	Cfg     Config
+	Machine *micro.Machine
+	Victim  *arm.Program
+	// Mem is the victim's initial memory image (the secret lives here).
+	Mem *expr.MemModel
+
+	round int64 // seeds the per-round probe permutation
+}
+
+// NewRunner builds an attack runner over a fresh default machine.
+func NewRunner(victim *arm.Program, mem *expr.MemModel, cfg Config) *Runner {
+	if cfg.TrainRuns == 0 {
+		cfg.TrainRuns = 4
+	}
+	if cfg.ProbeLines == 0 {
+		cfg.ProbeLines = 64
+	}
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	return &Runner{
+		Cfg:     cfg,
+		Machine: micro.New(micro.DefaultConfig()),
+		Victim:  victim,
+		Mem:     mem,
+	}
+}
+
+func (r *Runner) threshold() uint64 {
+	if r.Cfg.HitThreshold > 0 {
+		return r.Cfg.HitThreshold
+	}
+	return (r.Machine.Cfg.HitCycles + r.Machine.Cfg.MissCycles) / 2
+}
+
+// runVictim executes the victim once with the given registers.
+func (r *Runner) runVictim(regs map[string]uint64) error {
+	if err := r.Machine.LoadState(regs, r.Mem); err != nil {
+		return err
+	}
+	return r.Machine.Run(r.Victim, 0, nil)
+}
+
+// Round performs one train → flush → victim → reload round. trainRegs is a
+// benign input (the branch resolves toward the leaking body); attackRegs is
+// the malicious input; probeBase is the address of the probe array B.
+func (r *Runner) Round(trainRegs, attackRegs map[string]uint64, probeBase uint64) (*Result, error) {
+	// (1) Train the predictor.
+	for i := 0; i < r.Cfg.TrainRuns; i++ {
+		if err := r.runVictim(trainRegs); err != nil {
+			return nil, fmt.Errorf("attack: training run: %w", err)
+		}
+	}
+	// (2) Flush: evict the probe array (the simulator's platform role of
+	// clearing the cache; a real attacker would flush line by line).
+	for i := 0; i < r.Cfg.ProbeLines; i++ {
+		r.Machine.Cache.Flush(probeBase + uint64(i)*r.Cfg.LineSize)
+	}
+	// (3) Victim run with the malicious input: the mispredicted branch
+	// issues the secret-dependent transient load.
+	if err := r.runVictim(attackRegs); err != nil {
+		return nil, fmt.Errorf("attack: victim run: %w", err)
+	}
+	// (4) Reload and time each probe line — in a random permutation order:
+	// a sequential sweep would itself train the stride prefetcher and turn
+	// every line into a hit, exactly as real Flush+Reload implementations
+	// must avoid.
+	res := &Result{Timings: make([]uint64, r.Cfg.ProbeLines)}
+	thr := r.threshold()
+	order := rand.New(rand.NewSource(int64(r.round))).Perm(r.Cfg.ProbeLines)
+	r.round++
+	for _, i := range order {
+		t := r.Machine.AccessTimed(probeBase + uint64(i)*r.Cfg.LineSize)
+		res.Timings[i] = t
+	}
+	for i, t := range res.Timings {
+		if t < thr {
+			res.HitLines = append(res.HitLines, i)
+		}
+	}
+	return res, nil
+}
+
+// RecoverLine runs rounds until a round yields exactly one hit, returning
+// the recovered probe-line index (the secret at cache-line granularity).
+func (r *Runner) RecoverLine(trainRegs, attackRegs map[string]uint64, probeBase uint64, maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 4
+	}
+	for round := 0; round < maxRounds; round++ {
+		res, err := r.Round(trainRegs, attackRegs, probeBase)
+		if err != nil {
+			return 0, err
+		}
+		if line, ok := res.Recovered(); ok {
+			return line, nil
+		}
+	}
+	return 0, fmt.Errorf("attack: no unambiguous hit after %d rounds", maxRounds)
+}

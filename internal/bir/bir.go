@@ -1,0 +1,303 @@
+// Package bir defines the binary intermediate representation used by the
+// validation pipeline, mirroring the role of HolBA's BIR in Scam-V: binary
+// programs are lifted into bir (internal/lifter), observational models
+// insert tagged Observe statements (internal/obs, internal/spec), and the
+// symbolic execution engine (internal/symexec) runs over the result.
+//
+// A program is a list of labelled blocks; statements assign pure expressions
+// to registers, load and store through a single memory, or record tagged
+// observations; terminators jump, branch conditionally, or halt.
+package bir
+
+import (
+	"fmt"
+	"strings"
+
+	"scamv/internal/expr"
+)
+
+// MemName is the canonical name of the program memory variable.
+const MemName = "MEM"
+
+// ObsTag classifies an observation with respect to the pair of models
+// (M1 under validation, M2 refined) of the observation-refinement algorithm.
+// After the single instrumentation pass, the projection π of the paper's
+// §5.1 is simply tag filtering.
+type ObsTag uint8
+
+const (
+	// TagBase marks observations of the model under validation M1 (hence
+	// also of the refined model M2, which is more restrictive).
+	TagBase ObsTag = iota
+	// TagRefined marks observations exclusive to the refined model M2.
+	TagRefined
+)
+
+func (t ObsTag) String() string {
+	if t == TagBase {
+		return "base"
+	}
+	return "refined"
+}
+
+// Stmt is a BIR statement.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Assign sets register Dst to the pure expression Rhs (no memory reads;
+// loads are explicit Load statements).
+type Assign struct {
+	Dst string
+	Rhs expr.BVExpr
+}
+
+func (*Assign) stmt()            {}
+func (a *Assign) String() string { return fmt.Sprintf("%s := %s", a.Dst, a.Rhs) }
+
+// Load sets register Dst to the memory word at Addr.
+type Load struct {
+	Dst  string
+	Addr expr.BVExpr
+}
+
+func (*Load) stmt()            {}
+func (l *Load) String() string { return fmt.Sprintf("%s := %s[%s]", l.Dst, MemName, l.Addr) }
+
+// Store writes Val to memory at Addr.
+type Store struct {
+	Addr, Val expr.BVExpr
+}
+
+func (*Store) stmt()            {}
+func (s *Store) String() string { return fmt.Sprintf("%s[%s] := %s", MemName, s.Addr, s.Val) }
+
+// Observe records an observation: when Cond holds, the values of Vals are
+// visible to the side channel. Kind is a free-form label ("load", "branch",
+// "pc") used for diagnostics and support-model constraints.
+type Observe struct {
+	Tag  ObsTag
+	Kind string
+	Cond expr.BoolExpr
+	Vals []expr.BVExpr
+}
+
+func (*Observe) stmt() {}
+func (o *Observe) String() string {
+	vals := make([]string, len(o.Vals))
+	for i, v := range o.Vals {
+		vals[i] = v.String()
+	}
+	return fmt.Sprintf("observe<%s,%s> %s when %s", o.Tag, o.Kind, strings.Join(vals, ", "), o.Cond)
+}
+
+// Term is a block terminator.
+type Term interface {
+	term()
+	String() string
+}
+
+// Jmp is an unconditional jump.
+type Jmp struct{ Target string }
+
+func (*Jmp) term()            {}
+func (j *Jmp) String() string { return "jmp " + j.Target }
+
+// CondJmp branches to True when Cond holds, else to False.
+type CondJmp struct {
+	Cond        expr.BoolExpr
+	True, False string
+}
+
+func (*CondJmp) term() {}
+func (c *CondJmp) String() string {
+	return fmt.Sprintf("cjmp %s ? %s : %s", c.Cond, c.True, c.False)
+}
+
+// Halt ends execution.
+type Halt struct{}
+
+func (*Halt) term()          {}
+func (*Halt) String() string { return "halt" }
+
+// Block is a labelled sequence of statements with a terminator.
+type Block struct {
+	Label string
+	Stmts []Stmt
+	Term  Term
+}
+
+// Program is a BIR program.
+type Program struct {
+	Name   string
+	Entry  string
+	Blocks []*Block
+
+	byLabel map[string]*Block
+}
+
+// New builds a program from blocks; the first block is the entry.
+func New(name string, blocks ...*Block) *Program {
+	p := &Program{Name: name, Blocks: blocks}
+	if len(blocks) > 0 {
+		p.Entry = blocks[0].Label
+	}
+	p.index()
+	return p
+}
+
+func (p *Program) index() {
+	p.byLabel = make(map[string]*Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		p.byLabel[b.Label] = b
+	}
+}
+
+// Block returns the block with the given label, or nil.
+func (p *Program) Block(label string) *Block {
+	if p.byLabel == nil || len(p.byLabel) != len(p.Blocks) {
+		p.index()
+	}
+	return p.byLabel[label]
+}
+
+// Validate checks structural well-formedness: unique labels, resolvable
+// jump targets, an existing entry, and terminators on every block.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for _, b := range p.Blocks {
+		if b.Label == "" {
+			return fmt.Errorf("bir: %s: block with empty label", p.Name)
+		}
+		if seen[b.Label] {
+			return fmt.Errorf("bir: %s: duplicate label %q", p.Name, b.Label)
+		}
+		seen[b.Label] = true
+		if b.Term == nil {
+			return fmt.Errorf("bir: %s: block %q has no terminator", p.Name, b.Label)
+		}
+	}
+	if !seen[p.Entry] {
+		return fmt.Errorf("bir: %s: entry %q not found", p.Name, p.Entry)
+	}
+	for _, b := range p.Blocks {
+		for _, t := range p.Successors(b) {
+			if !seen[t] {
+				return fmt.Errorf("bir: %s: block %q jumps to unknown label %q", p.Name, b.Label, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Successors returns the labels a block can transfer control to.
+func (p *Program) Successors(b *Block) []string {
+	switch t := b.Term.(type) {
+	case *Jmp:
+		return []string{t.Target}
+	case *CondJmp:
+		return []string{t.True, t.False}
+	case *Halt:
+		return nil
+	}
+	panic(fmt.Sprintf("bir: unknown terminator %T", b.Term))
+}
+
+// IsAcyclic reports whether the control-flow graph has no cycles. Symbolic
+// execution requires acyclic programs (all generated templates are).
+func (p *Program) IsAcyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(label string) bool
+	visit = func(label string) bool {
+		switch color[label] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[label] = grey
+		b := p.Block(label)
+		if b != nil {
+			for _, s := range p.Successors(b) {
+				if !visit(s) {
+					return false
+				}
+			}
+		}
+		color[label] = black
+		return true
+	}
+	return visit(p.Entry)
+}
+
+// Clone returns a deep copy of the program structure (expressions are
+// immutable and shared).
+func (p *Program) Clone() *Program {
+	blocks := make([]*Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		nb := &Block{Label: b.Label, Term: b.Term}
+		nb.Stmts = make([]Stmt, len(b.Stmts))
+		copy(nb.Stmts, b.Stmts)
+		blocks[i] = nb
+	}
+	np := &Program{Name: p.Name, Entry: p.Entry, Blocks: blocks}
+	np.index()
+	return np
+}
+
+// String renders the program as text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s (entry %s)\n", p.Name, p.Entry)
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+		fmt.Fprintf(&sb, "  %s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// Registers returns the set of register names mentioned by the program
+// (assignment targets, load destinations and expression operands), excluding
+// the memory.
+func (p *Program) Registers() map[string]bool {
+	regs := make(map[string]bool)
+	add := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		expr.Vars(e, regs, nil, nil)
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Stmts {
+			switch v := s.(type) {
+			case *Assign:
+				regs[v.Dst] = true
+				add(v.Rhs)
+			case *Load:
+				regs[v.Dst] = true
+				add(v.Addr)
+			case *Store:
+				add(v.Addr)
+				add(v.Val)
+			case *Observe:
+				add(v.Cond)
+				for _, val := range v.Vals {
+					add(val)
+				}
+			}
+		}
+		if c, ok := b.Term.(*CondJmp); ok {
+			add(c.Cond)
+		}
+	}
+	return regs
+}

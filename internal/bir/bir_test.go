@@ -1,0 +1,103 @@
+package bir
+
+import (
+	"strings"
+	"testing"
+
+	"scamv/internal/expr"
+)
+
+func sample() *Program {
+	return New("t",
+		&Block{
+			Label: "entry",
+			Stmts: []Stmt{
+				&Assign{Dst: "x1", Rhs: expr.Add(expr.V64("x0"), expr.C64(1))},
+			},
+			Term: &CondJmp{Cond: expr.Ult(expr.V64("x0"), expr.V64("x2")), True: "then", False: "end"},
+		},
+		&Block{
+			Label: "then",
+			Stmts: []Stmt{
+				&Load{Dst: "x3", Addr: expr.V64("x1")},
+				&Observe{Tag: TagBase, Kind: "load", Cond: expr.True, Vals: []expr.BVExpr{expr.V64("x1")}},
+			},
+			Term: &Jmp{Target: "end"},
+		},
+		&Block{Label: "end", Term: &Halt{}},
+	)
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := sample()
+	p.Blocks[1].Term = &Jmp{Target: "nowhere"}
+	if err := p.Validate(); err == nil {
+		t.Error("expected unknown-label error")
+	}
+	p2 := sample()
+	p2.Blocks = append(p2.Blocks, &Block{Label: "entry", Term: &Halt{}})
+	if err := p2.Validate(); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+	p3 := sample()
+	p3.Entry = "missing"
+	if err := p3.Validate(); err == nil {
+		t.Error("expected missing-entry error")
+	}
+	p4 := sample()
+	p4.Blocks[0].Term = nil
+	if err := p4.Validate(); err == nil {
+		t.Error("expected missing-terminator error")
+	}
+}
+
+func TestSuccessorsAndAcyclicity(t *testing.T) {
+	p := sample()
+	succ := p.Successors(p.Block("entry"))
+	if len(succ) != 2 || succ[0] != "then" || succ[1] != "end" {
+		t.Errorf("successors: %v", succ)
+	}
+	if !p.IsAcyclic() {
+		t.Error("sample is acyclic")
+	}
+	p.Block("end").Term = &Jmp{Target: "entry"}
+	if p.IsAcyclic() {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sample()
+	q := p.Clone()
+	q.Block("then").Stmts = append(q.Block("then").Stmts, &Assign{Dst: "x9", Rhs: expr.C64(0)})
+	if len(p.Block("then").Stmts) == len(q.Block("then").Stmts) {
+		t.Error("clone shares statement slices")
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	regs := sample().Registers()
+	for _, r := range []string{"x0", "x1", "x2", "x3"} {
+		if !regs[r] {
+			t.Errorf("missing register %s in %v", r, regs)
+		}
+	}
+	if regs[MemName] {
+		t.Error("memory must not be listed as a register")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"entry:", "then:", "observe<base,load>", "cjmp", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}

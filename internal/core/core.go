@@ -1,0 +1,428 @@
+// Package core implements the paper's primary contribution: synthesis of
+// observational-equivalence relations from symbolic execution results
+// (Eq. 1, §2.3) and observation-refinement-guided test-case generation
+// (§3, §5.2).
+//
+// A test case for a program P is a pair of initial states (s1, s2) with
+// s1 ∼M1 s2 (equal M1 observations) and, when refinement is active,
+// s1 ≁M2 s2 (different M2-only observations). Following the optimization of
+// §5.4, the relation is split into one formula per pair of execution paths,
+// explored round-robin; supporting models (obs.Support) contribute
+// per-class coverage constraints.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scamv/internal/expr"
+	"scamv/internal/obs"
+	"scamv/internal/sat"
+	"scamv/internal/smt"
+	"scamv/internal/symexec"
+)
+
+// State is a concrete initial machine state for one side of a test case.
+type State struct {
+	Regs map[string]uint64
+	Mem  *expr.MemModel
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	regs := make(map[string]uint64, len(s.Regs))
+	for k, v := range s.Regs {
+		regs[k] = v
+	}
+	return &State{Regs: regs, Mem: s.Mem.Clone()}
+}
+
+// TestCase is a generated pair of observationally equivalent states.
+type TestCase struct {
+	S1, S2 *State
+	// PathA and PathB index the symbolic paths taken by S1 and S2.
+	PathA, PathB int
+	// Class is the support-model coverage class the pair was drawn from.
+	Class int
+}
+
+// Config configures a Generator.
+type Config struct {
+	// Seed drives solver randomization; generation is deterministic per seed.
+	Seed int64
+	// RandomPhaseProb diversifies solver models (see internal/smt).
+	RandomPhaseProb float64
+	// Refined enables the s1 ≁M2 s2 constraint. Without it the generator
+	// is the unguided baseline of the paper's evaluation.
+	Refined bool
+	// Support is the coverage support model; nil means M_pc only (path-pair
+	// round-robin, which is always active).
+	Support obs.Support
+	// MaxConflicts bounds each solver query; 0 means unbounded.
+	MaxConflicts int64
+	// Registers lists the program's register names; extracted states carry
+	// concrete values for each. Ghost and shadow registers are excluded by
+	// the caller.
+	Registers []string
+}
+
+// suffixes for the two states of Eq. 1.
+const (
+	sfx1 = "_1"
+	sfx2 = "_2"
+)
+
+// renameObs instantiates a path's observations for one side of the relation.
+func renameObs(in []symexec.Obs, sfx string) []symexec.Obs {
+	out := make([]symexec.Obs, len(in))
+	f := expr.Suffix(sfx)
+	for i, o := range in {
+		vals := make([]expr.BVExpr, len(o.Vals))
+		for j, v := range o.Vals {
+			vals[j] = expr.RenameBV(v, f)
+		}
+		out[i] = symexec.Obs{Tag: o.Tag, Kind: o.Kind, Cond: expr.RenameBool(o.Cond, f), Vals: vals}
+	}
+	return out
+}
+
+// slotEq is the equality of one observation slot across the two states:
+// either both observations are absent, or both are present with equal
+// values. Slots with mismatching arity or widths can only be equal by
+// being both absent.
+func slotEq(a, b symexec.Obs) expr.BoolExpr {
+	valsEq := expr.BoolExpr(expr.True)
+	if len(a.Vals) != len(b.Vals) {
+		valsEq = expr.False
+	} else {
+		var conj []expr.BoolExpr
+		for i := range a.Vals {
+			if a.Vals[i].Width() != b.Vals[i].Width() {
+				valsEq = expr.False
+				break
+			}
+			conj = append(conj, expr.Eq(a.Vals[i], b.Vals[i]))
+		}
+		if valsEq == expr.True {
+			valsEq = expr.AndB(conj...)
+		}
+	}
+	bothPresent := expr.AndB(a.Cond, b.Cond, valsEq)
+	bothAbsent := expr.AndB(expr.NotB(a.Cond), expr.NotB(b.Cond))
+	return expr.OrB(bothPresent, bothAbsent)
+}
+
+// ObsListEq is the observation-list equality lσa(s1) = lσb(s2) of Eq. 1,
+// with slots aligned positionally. Lists of different slot counts are
+// unequal (a conservative instantiation for cross-path pairs; see DESIGN.md).
+func ObsListEq(a, b []symexec.Obs) expr.BoolExpr {
+	if len(a) != len(b) {
+		return expr.False
+	}
+	conj := make([]expr.BoolExpr, len(a))
+	for i := range a {
+		conj[i] = slotEq(a[i], b[i])
+	}
+	return expr.AndB(conj...)
+}
+
+// PairRelation builds the full relation formula for one path pair:
+// pa(s1) ∧ pb(s2) ∧ EqObs_M1 — and, when refined, ∧ ¬EqObs_{M2\M1}.
+// It is exported for tests and for the ablation benchmarks comparing
+// path-pair splitting against the monolithic Eq. 1 relation.
+func PairRelation(pa, pb *symexec.Path, refined bool) expr.BoolExpr {
+	return PairRelationSlot(pa, pb, refined, -1)
+}
+
+// PairRelationSlot is PairRelation with refinement-slot coverage: when
+// slot >= 0, instead of the generic disjunction "some refined observation
+// differs", the formula pins down WHICH refined observation slot must
+// differ. Enumerating slots round-robin ensures every transient access is
+// exercised as the distinguishing one — without it, the solver is free to
+// always satisfy the disjunction through the same (possibly hardware-
+// invisible) observation, e.g. the causally dependent second load of
+// Template C that the core never issues.
+func PairRelationSlot(pa, pb *symexec.Path, refined bool, slot int) expr.BoolExpr {
+	f1, f2 := expr.Suffix(sfx1), expr.Suffix(sfx2)
+	conds := []expr.BoolExpr{
+		expr.RenameBool(pa.Cond, f1),
+		expr.RenameBool(pb.Cond, f2),
+		ObsListEq(renameObs(pa.BaseObs(), sfx1), renameObs(pb.BaseObs(), sfx2)),
+	}
+	if refined {
+		ra := renameObs(pa.RefinedObs(), sfx1)
+		rb := renameObs(pb.RefinedObs(), sfx2)
+		if slot >= 0 && slot < len(ra) && len(ra) == len(rb) {
+			conds = append(conds, expr.NotB(slotEq(ra[slot], rb[slot])))
+		} else {
+			conds = append(conds, expr.NotB(ObsListEq(ra, rb)))
+		}
+	}
+	return expr.AndB(conds...)
+}
+
+// MonolithicRelation is the unsplit Eq. 1 relation over all path pairs,
+// kept for the ablation benchmark of the §5.4 optimization: a single formula
+// asserting that whatever paths s1 and s2 take, their M1 observations agree
+// (and, refined, that some M2 observation differs on the pair's own paths).
+func MonolithicRelation(paths []*symexec.Path, refined bool) expr.BoolExpr {
+	f1, f2 := expr.Suffix(sfx1), expr.Suffix(sfx2)
+	var conj []expr.BoolExpr
+	var anyDiff []expr.BoolExpr
+	for _, pa := range paths {
+		for _, pb := range paths {
+			guard := expr.AndB(expr.RenameBool(pa.Cond, f1), expr.RenameBool(pb.Cond, f2))
+			eq := ObsListEq(renameObs(pa.BaseObs(), sfx1), renameObs(pb.BaseObs(), sfx2))
+			conj = append(conj, expr.Implies(guard, eq))
+			if refined {
+				diff := expr.NotB(ObsListEq(
+					renameObs(pa.RefinedObs(), sfx1),
+					renameObs(pb.RefinedObs(), sfx2)))
+				anyDiff = append(anyDiff, expr.AndB(guard, diff))
+			}
+		}
+	}
+	if refined {
+		conj = append(conj, expr.OrB(anyDiff...))
+	}
+	return expr.AndB(conj...)
+}
+
+// genKey identifies one (path pair, coverage class, refinement slot)
+// enumeration stream. slot is -1 for the generic refinement disjunction
+// (and for unrefined generation).
+type genKey struct {
+	a, b  int
+	class int
+	slot  int
+}
+
+type stream struct {
+	solver *smt.Solver
+	dead   bool
+}
+
+// Generator enumerates test cases for one program, round-robin across path
+// pairs and support classes, each stream backed by an incremental solver
+// with model blocking.
+type Generator struct {
+	cfg     Config
+	paths   []*symexec.Path
+	keys    []genKey
+	streams map[genKey]*stream
+	rr      int
+
+	// Stats
+	QueriesSat    int
+	QueriesUnsat  int
+	QueriesFailed int
+}
+
+// NewGenerator prepares test-case generation over the symbolic paths of an
+// instrumented program.
+func NewGenerator(paths []*symexec.Path, cfg Config) *Generator {
+	classes := 1
+	if cfg.Support != nil && cfg.Support.Classes() > 0 {
+		classes = cfg.Support.Classes()
+	}
+	// Refinement-slot streams: one per refined observation slot when the
+	// pair's refined lists align, otherwise the generic disjunction.
+	slotsFor := func(a, b int) []int {
+		if !cfg.Refined {
+			return []int{-1}
+		}
+		na, nb := len(paths[a].RefinedObs()), len(paths[b].RefinedObs())
+		if na != nb || na == 0 {
+			return []int{-1}
+		}
+		out := make([]int, na)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Visit coverage classes in a seeded random permutation: with far more
+	// classes than test cases per program (M_line has one class per cache
+	// set), a fixed order would make every program exercise the same few
+	// classes and systematically miss the rest of the space.
+	order := rand.New(rand.NewSource(cfg.Seed)).Perm(classes)
+	var keys []genKey
+	// Same-path pairs first (they are the satisfiable ones for models that
+	// observe branch guards), then cross pairs, for every class.
+	for _, c := range order {
+		for i := range paths {
+			for _, s := range slotsFor(i, i) {
+				keys = append(keys, genKey{a: i, b: i, class: c, slot: s})
+			}
+		}
+		for i := range paths {
+			for j := range paths {
+				if i != j {
+					for _, s := range slotsFor(i, j) {
+						keys = append(keys, genKey{a: i, b: j, class: c, slot: s})
+					}
+				}
+			}
+		}
+	}
+	return &Generator{cfg: cfg, paths: paths, keys: keys, streams: make(map[genKey]*stream)}
+}
+
+func (g *Generator) newStream(k genKey) *stream {
+	seed := g.cfg.Seed*1000003 + int64(k.a)*8191 + int64(k.b)*131 + int64(k.class)*7 + int64(k.slot)
+	s := smt.New(smt.Options{
+		Seed:            seed,
+		RandomPhaseProb: g.cfg.RandomPhaseProb,
+		MaxConflicts:    g.cfg.MaxConflicts,
+	})
+	pa, pb := g.paths[k.a], g.paths[k.b]
+	s.Assert(PairRelationSlot(pa, pb, g.cfg.Refined, k.slot))
+	// A test case of two identical states is vacuous (trivially
+	// indistinguishable): require the architectural register vectors to
+	// differ somewhere.
+	var diff []expr.BoolExpr
+	for _, r := range g.cfg.Registers {
+		diff = append(diff, expr.Neq(
+			expr.NewVar(r+sfx1, 64), expr.NewVar(r+sfx2, 64)))
+	}
+	if len(diff) > 0 {
+		s.Assert(expr.OrB(diff...))
+	}
+	if g.cfg.Support != nil {
+		s.Assert(g.cfg.Support.Constraint(k.class, renameObs(pa.Obs, sfx1)))
+	}
+	return &stream{solver: s}
+}
+
+// Next produces the next test case, or ok=false when every stream is
+// exhausted.
+func (g *Generator) Next() (*TestCase, bool) {
+	for tried := 0; tried < len(g.keys); tried++ {
+		k := g.keys[g.rr%len(g.keys)]
+		g.rr++
+		st := g.streams[k]
+		if st == nil {
+			st = g.newStream(k)
+			g.streams[k] = st
+		}
+		if st.dead {
+			continue
+		}
+		switch st.solver.Check() {
+		case sat.Sat:
+			g.QueriesSat++
+			m := st.solver.Model()
+			tc := g.extract(m, k)
+			// Block this model so the stream yields a different pair next
+			// time. Blocking covers every variable of the relation,
+			// including the memory read values.
+			if !st.solver.BlockVars(st.solver.VarNames()) {
+				st.dead = true
+			}
+			return tc, true
+		case sat.Unsat:
+			g.QueriesUnsat++
+			st.dead = true
+		default:
+			g.QueriesFailed++
+			st.dead = true
+		}
+	}
+	return nil, false
+}
+
+func (g *Generator) extract(m *expr.Assignment, k genKey) *TestCase {
+	s1, s2 := ExtractStates(m, g.cfg.Registers)
+	return &TestCase{S1: s1, S2: s2, PathA: k.a, PathB: k.b, Class: k.class}
+}
+
+// ExtractStates reads the two concrete states (s1, s2) out of a model of a
+// relation formula built by PairRelation: register values come from the
+// _1/_2-suffixed variables and memory images from the renamed memories.
+func ExtractStates(m *expr.Assignment, registers []string) (s1, s2 *State) {
+	s1 = &State{Regs: make(map[string]uint64), Mem: expr.NewMemModel(0)}
+	s2 = &State{Regs: make(map[string]uint64), Mem: expr.NewMemModel(0)}
+	for _, r := range registers {
+		s1.Regs[r] = m.BV[r+sfx1]
+		s2.Regs[r] = m.BV[r+sfx2]
+	}
+	if mm := m.Mem["MEM"+sfx1]; mm != nil {
+		s1.Mem = mm.Clone()
+	}
+	if mm := m.Mem["MEM"+sfx2]; mm != nil {
+		s2.Mem = mm.Clone()
+	}
+	return s1, s2
+}
+
+// TrainingState solves for a state taking a different execution path than
+// testPath (paper §5.3): executing the program from it first trains the
+// branch predictor so that the test states are mispredicted. Returns ok =
+// false when the program has no alternative feasible path.
+func TrainingState(paths []*symexec.Path, testPath int, registers []string, seed int64) (*State, bool) {
+	for i, p := range paths {
+		if i == testPath {
+			continue
+		}
+		s := smt.New(smt.Options{Seed: seed})
+		s.Assert(p.Cond)
+		if s.Check() != sat.Sat {
+			continue
+		}
+		m := s.Model()
+		st := &State{Regs: make(map[string]uint64), Mem: expr.NewMemModel(0)}
+		for _, r := range registers {
+			st.Regs[r] = m.BV[r]
+		}
+		if mm := m.Mem["MEM"]; mm != nil {
+			st.Mem = mm.Clone()
+		}
+		return st, true
+	}
+	return nil, false
+}
+
+// String renders a test case compactly.
+func (tc *TestCase) String() string {
+	return fmt.Sprintf("testcase paths=(%d,%d) class=%d", tc.PathA, tc.PathB, tc.Class)
+}
+
+// Diff lists where the two states differ: sorted register names, plus "mem"
+// when the initial memory images differ. Counterexample pattern analysis
+// (paper §1: "identify patterns that trigger microarchitectural features in
+// unexpected ways") aggregates these over a campaign.
+func (tc *TestCase) Diff() []string {
+	var out []string
+	names := make([]string, 0, len(tc.S1.Regs))
+	for r := range tc.S1.Regs {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		if tc.S1.Regs[r] != tc.S2.Regs[r] {
+			out = append(out, r)
+		}
+	}
+	if !memEqual(tc.S1.Mem, tc.S2.Mem) {
+		out = append(out, "mem")
+	}
+	return out
+}
+
+func memEqual(a, b *expr.MemModel) bool {
+	if a.Default != b.Default {
+		return false
+	}
+	for addr, v := range a.Data {
+		if b.Get(addr) != v {
+			return false
+		}
+	}
+	for addr, v := range b.Data {
+		if a.Get(addr) != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package expr
+
+import "fmt"
+
+// MemModel is a concrete memory: a default word plus explicit entries.
+type MemModel struct {
+	Default uint64
+	Data    map[uint64]uint64
+}
+
+// NewMemModel returns an empty memory with the given default word.
+func NewMemModel(def uint64) *MemModel {
+	return &MemModel{Default: def, Data: make(map[uint64]uint64)}
+}
+
+// Get returns the word at addr.
+func (m *MemModel) Get(addr uint64) uint64 {
+	if v, ok := m.Data[addr]; ok {
+		return v
+	}
+	return m.Default
+}
+
+// Set maps addr to v.
+func (m *MemModel) Set(addr, v uint64) { m.Data[addr] = v }
+
+// Clone returns a deep copy of the memory.
+func (m *MemModel) Clone() *MemModel {
+	c := NewMemModel(m.Default)
+	for k, v := range m.Data {
+		c.Data[k] = v
+	}
+	return c
+}
+
+// Assignment maps variables of each sort to concrete values.
+type Assignment struct {
+	BV   map[string]uint64
+	Bool map[string]bool
+	Mem  map[string]*MemModel
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{
+		BV:   make(map[string]uint64),
+		Bool: make(map[string]bool),
+		Mem:  make(map[string]*MemModel),
+	}
+}
+
+// EvalBV evaluates a bitvector expression under a. Unassigned variables
+// evaluate to zero; unassigned memories behave as all-zero memories.
+func (a *Assignment) EvalBV(e BVExpr) uint64 {
+	switch v := e.(type) {
+	case *Const:
+		return v.V
+	case *Var:
+		return a.BV[v.Name] & mask(v.W)
+	case *Bin:
+		return evalBin(v.Op, a.EvalBV(v.X), a.EvalBV(v.Y), v.Width())
+	case *Un:
+		x := a.EvalBV(v.X)
+		if v.Op == OpNot {
+			return ^x & mask(v.Width())
+		}
+		return -x & mask(v.Width())
+	case *Extract:
+		return a.EvalBV(v.X) >> v.Lo & mask(v.Width())
+	case *Ext:
+		x := a.EvalBV(v.X)
+		if v.Kind == SignExt && x>>(v.X.Width()-1)&1 == 1 {
+			x |= mask(v.W) &^ mask(v.X.Width())
+		}
+		return x
+	case *Ite:
+		if a.EvalBool(v.Cond) {
+			return a.EvalBV(v.Then)
+		}
+		return a.EvalBV(v.Else)
+	case *Read:
+		return a.evalRead(v.M, a.EvalBV(v.Addr))
+	}
+	panic(fmt.Sprintf("expr: EvalBV on %T", e))
+}
+
+func (a *Assignment) evalRead(m MemExpr, addr uint64) uint64 {
+	switch v := m.(type) {
+	case *MemVar:
+		mm := a.Mem[v.Name]
+		if mm == nil {
+			return 0
+		}
+		return mm.Get(addr)
+	case *Store:
+		if a.EvalBV(v.Addr) == addr {
+			return a.EvalBV(v.Val)
+		}
+		return a.evalRead(v.M, addr)
+	}
+	panic(fmt.Sprintf("expr: evalRead on %T", m))
+}
+
+// EvalBool evaluates a boolean expression under a.
+func (a *Assignment) EvalBool(e BoolExpr) bool {
+	switch v := e.(type) {
+	case *BoolConst:
+		return v.B
+	case *BoolVar:
+		return a.Bool[v.Name]
+	case *Cmp:
+		return evalCmp(v.Op, a.EvalBV(v.X), a.EvalBV(v.Y), v.X.Width())
+	case *Nary:
+		if v.Op == OpAndB {
+			for _, arg := range v.Args {
+				if !a.EvalBool(arg) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, arg := range v.Args {
+			if a.EvalBool(arg) {
+				return true
+			}
+		}
+		return false
+	case *NotBExpr:
+		return !a.EvalBool(v.X)
+	}
+	panic(fmt.Sprintf("expr: EvalBool on %T", e))
+}

@@ -1,0 +1,761 @@
+// Package expr implements the symbolic expression language shared by the
+// BIR intermediate representation, the symbolic execution engine, the
+// relation synthesizer and the SMT solver.
+//
+// The language has three sorts:
+//
+//   - bitvectors of width 1..64 (registers, addresses, observation values),
+//   - booleans (path conditions, branch guards),
+//   - memories (total maps from 64-bit addresses to 64-bit words).
+//
+// Expressions are immutable trees built with smart constructors that perform
+// light constant folding; structural sharing arises naturally because
+// subtrees are reused by pointer.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sort identifies the sort of an expression.
+type Sort uint8
+
+// The three sorts of the term language.
+const (
+	SortBV Sort = iota
+	SortBool
+	SortMem
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortBV:
+		return "bv"
+	case SortBool:
+		return "bool"
+	case SortMem:
+		return "mem"
+	}
+	return fmt.Sprintf("sort(%d)", uint8(s))
+}
+
+// Expr is a node of the symbolic expression tree.
+type Expr interface {
+	Sort() Sort
+	String() string
+}
+
+// BVExpr is implemented by bitvector-sorted expressions and reports their
+// width in bits.
+type BVExpr interface {
+	Expr
+	Width() uint
+}
+
+// mask returns the w-bit mask.
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// ---------------------------------------------------------------------------
+// Bitvector leaves
+// ---------------------------------------------------------------------------
+
+// Const is a bitvector constant.
+type Const struct {
+	W uint
+	V uint64 // always normalized to W bits
+}
+
+// NewConst builds a bitvector constant of width w, truncating v to w bits.
+func NewConst(v uint64, w uint) *Const {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: invalid bitvector width %d", w))
+	}
+	return &Const{W: w, V: v & mask(w)}
+}
+
+// C64 builds a 64-bit constant.
+func C64(v uint64) *Const { return NewConst(v, 64) }
+
+func (c *Const) Sort() Sort  { return SortBV }
+func (c *Const) Width() uint { return c.W }
+func (c *Const) String() string {
+	return fmt.Sprintf("0x%x:%d", c.V, c.W)
+}
+
+// Var is a bitvector variable (a register or an input).
+type Var struct {
+	Name string
+	W    uint
+}
+
+// NewVar builds a bitvector variable.
+func NewVar(name string, w uint) *Var {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: invalid bitvector width %d", w))
+	}
+	return &Var{Name: name, W: w}
+}
+
+// V64 builds a 64-bit variable.
+func V64(name string) *Var { return NewVar(name, 64) }
+
+func (v *Var) Sort() Sort     { return SortBV }
+func (v *Var) Width() uint    { return v.W }
+func (v *Var) String() string { return v.Name }
+
+// ---------------------------------------------------------------------------
+// Bitvector operators
+// ---------------------------------------------------------------------------
+
+// BinOp enumerates binary bitvector operators.
+type BinOp uint8
+
+// Binary bitvector operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl  // logical shift left
+	OpLshr // logical shift right
+	OpAshr // arithmetic shift right
+)
+
+var binOpNames = [...]string{"add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Bin is a binary bitvector operation; both operands have the same width.
+type Bin struct {
+	Op   BinOp
+	X, Y BVExpr
+}
+
+func (b *Bin) Sort() Sort  { return SortBV }
+func (b *Bin) Width() uint { return b.X.Width() }
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Op, b.X, b.Y)
+}
+
+func checkSameWidth(x, y BVExpr) {
+	if x.Width() != y.Width() {
+		panic(fmt.Sprintf("expr: width mismatch %d vs %d in %s / %s", x.Width(), y.Width(), x, y))
+	}
+}
+
+func evalBin(op BinOp, x, y uint64, w uint) uint64 {
+	m := mask(w)
+	switch op {
+	case OpAdd:
+		return (x + y) & m
+	case OpSub:
+		return (x - y) & m
+	case OpMul:
+		return (x * y) & m
+	case OpAnd:
+		return x & y
+	case OpOr:
+		return x | y
+	case OpXor:
+		return x ^ y
+	case OpShl:
+		if y >= uint64(w) {
+			return 0
+		}
+		return (x << y) & m
+	case OpLshr:
+		if y >= uint64(w) {
+			return 0
+		}
+		return x >> y
+	case OpAshr:
+		sign := x >> (w - 1) & 1
+		if y >= uint64(w) {
+			if sign == 1 {
+				return m
+			}
+			return 0
+		}
+		r := x >> y
+		if sign == 1 {
+			r |= m &^ (m >> y)
+		}
+		return r
+	}
+	panic("expr: unknown binop")
+}
+
+func newBin(op BinOp, x, y BVExpr) BVExpr {
+	checkSameWidth(x, y)
+	cx, xc := x.(*Const)
+	cy, yc := y.(*Const)
+	if xc && yc {
+		return NewConst(evalBin(op, cx.V, cy.V, x.Width()), x.Width())
+	}
+	// Light identity folding and canonicalization: constants ride on the
+	// right of commutative operators and associate through chains, so that
+	// structurally equal addresses (e.g. base+64+64 vs base+128) normalize
+	// to one shape — this keeps relation formulas small and lets the
+	// memory theory deduplicate reads at syntactically equal addresses.
+	switch op {
+	case OpAdd:
+		if xc && cx.V == 0 {
+			return y
+		}
+		if yc && cy.V == 0 {
+			return x
+		}
+		if xc && !yc {
+			return newBin(OpAdd, y, x) // const to the right
+		}
+		if yc {
+			if inner, ok := x.(*Bin); ok && inner.Op == OpAdd {
+				if ic, ok := inner.Y.(*Const); ok {
+					// (x + c1) + c2 → x + (c1+c2)
+					return newBin(OpAdd, inner.X, NewConst(ic.V+cy.V, x.Width()))
+				}
+			}
+			if inner, ok := x.(*Bin); ok && inner.Op == OpSub {
+				if ic, ok := inner.Y.(*Const); ok {
+					// (x - c1) + c2 → x + (c2-c1)
+					return newBin(OpAdd, inner.X, NewConst(cy.V-ic.V, x.Width()))
+				}
+			}
+		}
+	case OpSub, OpShl, OpLshr, OpAshr, OpOr, OpXor:
+		if yc && cy.V == 0 {
+			return x
+		}
+		if (op == OpOr || op == OpXor) && xc && cx.V == 0 {
+			return y
+		}
+		if op == OpSub && yc {
+			// x - c → x + (-c): one canonical chain shape for addresses.
+			return newBin(OpAdd, x, NewConst(-cy.V, x.Width()))
+		}
+		if (op == OpXor || op == OpSub) && x == y {
+			return NewConst(0, x.Width())
+		}
+		if op == OpOr && x == y {
+			return x
+		}
+		if op == OpLshr && yc {
+			if inner, ok := x.(*Bin); ok && inner.Op == OpLshr {
+				if ic, ok := inner.Y.(*Const); ok && ic.V+cy.V < uint64(x.Width()) {
+					// (x >> c1) >> c2 → x >> (c1+c2)
+					return newBin(OpLshr, inner.X, NewConst(ic.V+cy.V, x.Width()))
+				}
+			}
+		}
+	case OpAnd:
+		if yc && cy.V == mask(x.Width()) {
+			return x
+		}
+		if xc && cx.V == mask(x.Width()) {
+			return y
+		}
+		if xc && cx.V == 0 || yc && cy.V == 0 {
+			return NewConst(0, x.Width())
+		}
+		if x == y {
+			return x
+		}
+		if yc {
+			if inner, ok := x.(*Bin); ok && inner.Op == OpAnd {
+				if ic, ok := inner.Y.(*Const); ok {
+					// (x & c1) & c2 → x & (c1&c2)
+					return newBin(OpAnd, inner.X, NewConst(ic.V&cy.V, x.Width()))
+				}
+			}
+		}
+	case OpMul:
+		if yc && cy.V == 1 {
+			return x
+		}
+		if xc && cx.V == 1 {
+			return y
+		}
+		if xc && cx.V == 0 || yc && cy.V == 0 {
+			return NewConst(0, x.Width())
+		}
+	}
+	return &Bin{Op: op, X: x, Y: y}
+}
+
+// Add returns x + y.
+func Add(x, y BVExpr) BVExpr { return newBin(OpAdd, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y BVExpr) BVExpr { return newBin(OpSub, x, y) }
+
+// Mul returns x * y (modular).
+func Mul(x, y BVExpr) BVExpr { return newBin(OpMul, x, y) }
+
+// And returns the bitwise conjunction of x and y.
+func And(x, y BVExpr) BVExpr { return newBin(OpAnd, x, y) }
+
+// Or returns the bitwise disjunction of x and y.
+func Or(x, y BVExpr) BVExpr { return newBin(OpOr, x, y) }
+
+// Xor returns the bitwise exclusive-or of x and y.
+func Xor(x, y BVExpr) BVExpr { return newBin(OpXor, x, y) }
+
+// Shl returns x logically shifted left by y.
+func Shl(x, y BVExpr) BVExpr { return newBin(OpShl, x, y) }
+
+// Lshr returns x logically shifted right by y.
+func Lshr(x, y BVExpr) BVExpr { return newBin(OpLshr, x, y) }
+
+// Ashr returns x arithmetically shifted right by y.
+func Ashr(x, y BVExpr) BVExpr { return newBin(OpAshr, x, y) }
+
+// UnOp enumerates unary bitvector operators.
+type UnOp uint8
+
+// Unary bitvector operators.
+const (
+	OpNot UnOp = iota // bitwise complement
+	OpNeg             // two's-complement negation
+)
+
+func (op UnOp) String() string {
+	if op == OpNot {
+		return "not"
+	}
+	return "neg"
+}
+
+// Un is a unary bitvector operation.
+type Un struct {
+	Op UnOp
+	X  BVExpr
+}
+
+func (u *Un) Sort() Sort     { return SortBV }
+func (u *Un) Width() uint    { return u.X.Width() }
+func (u *Un) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.X) }
+
+// Not returns the bitwise complement of x.
+func Not(x BVExpr) BVExpr {
+	if c, ok := x.(*Const); ok {
+		return NewConst(^c.V, c.W)
+	}
+	return &Un{Op: OpNot, X: x}
+}
+
+// Neg returns the two's-complement negation of x.
+func Neg(x BVExpr) BVExpr {
+	if c, ok := x.(*Const); ok {
+		return NewConst(-c.V, c.W)
+	}
+	return &Un{Op: OpNeg, X: x}
+}
+
+// Extract selects bits hi..lo (inclusive) of x as a (hi-lo+1)-wide value.
+type Extract struct {
+	Hi, Lo uint
+	X      BVExpr
+}
+
+// NewExtract builds an extraction of bits hi..lo of x.
+func NewExtract(hi, lo uint, x BVExpr) BVExpr {
+	if hi < lo || hi >= x.Width() {
+		panic(fmt.Sprintf("expr: bad extract [%d:%d] of width %d", hi, lo, x.Width()))
+	}
+	if c, ok := x.(*Const); ok {
+		return NewConst(c.V>>lo, hi-lo+1)
+	}
+	if lo == 0 && hi == x.Width()-1 {
+		return x
+	}
+	return &Extract{Hi: hi, Lo: lo, X: x}
+}
+
+func (e *Extract) Sort() Sort     { return SortBV }
+func (e *Extract) Width() uint    { return e.Hi - e.Lo + 1 }
+func (e *Extract) String() string { return fmt.Sprintf("%s[%d:%d]", e.X, e.Hi, e.Lo) }
+
+// ExtKind distinguishes zero and sign extension.
+type ExtKind uint8
+
+// Extension kinds.
+const (
+	ZeroExt ExtKind = iota
+	SignExt
+)
+
+// Ext widens x to width W.
+type Ext struct {
+	Kind ExtKind
+	W    uint
+	X    BVExpr
+}
+
+// NewExt extends x to width w using the given kind.
+func NewExt(kind ExtKind, x BVExpr, w uint) BVExpr {
+	if w < x.Width() || w > 64 {
+		panic(fmt.Sprintf("expr: bad extension %d -> %d", x.Width(), w))
+	}
+	if w == x.Width() {
+		return x
+	}
+	if c, ok := x.(*Const); ok {
+		v := c.V
+		if kind == SignExt && v>>(c.W-1)&1 == 1 {
+			v |= mask(w) &^ mask(c.W)
+		}
+		return NewConst(v, w)
+	}
+	return &Ext{Kind: kind, W: w, X: x}
+}
+
+func (e *Ext) Sort() Sort  { return SortBV }
+func (e *Ext) Width() uint { return e.W }
+func (e *Ext) String() string {
+	k := "zext"
+	if e.Kind == SignExt {
+		k = "sext"
+	}
+	return fmt.Sprintf("(%s %s %d)", k, e.X, e.W)
+}
+
+// Ite is a bitvector if-then-else.
+type Ite struct {
+	Cond       BoolExpr
+	Then, Else BVExpr
+}
+
+// NewIte builds ite(cond, thn, els).
+func NewIte(cond BoolExpr, thn, els BVExpr) BVExpr {
+	checkSameWidth(thn, els)
+	if c, ok := cond.(*BoolConst); ok {
+		if c.B {
+			return thn
+		}
+		return els
+	}
+	return &Ite{Cond: cond, Then: thn, Else: els}
+}
+
+func (i *Ite) Sort() Sort     { return SortBV }
+func (i *Ite) Width() uint    { return i.Then.Width() }
+func (i *Ite) String() string { return fmt.Sprintf("(ite %s %s %s)", i.Cond, i.Then, i.Else) }
+
+// ---------------------------------------------------------------------------
+// Booleans
+// ---------------------------------------------------------------------------
+
+// BoolExpr is implemented by boolean-sorted expressions.
+type BoolExpr interface {
+	Expr
+	boolExpr()
+}
+
+// BoolConst is a boolean constant.
+type BoolConst struct{ B bool }
+
+// True and False are the boolean constants.
+var (
+	True  = &BoolConst{B: true}
+	False = &BoolConst{B: false}
+)
+
+func (b *BoolConst) Sort() Sort { return SortBool }
+func (b *BoolConst) boolExpr()  {}
+func (b *BoolConst) String() string {
+	if b.B {
+		return "true"
+	}
+	return "false"
+}
+
+// BoolVar is a boolean variable.
+type BoolVar struct{ Name string }
+
+// NewBoolVar builds a boolean variable.
+func NewBoolVar(name string) *BoolVar { return &BoolVar{Name: name} }
+
+func (b *BoolVar) Sort() Sort     { return SortBool }
+func (b *BoolVar) boolExpr()      {}
+func (b *BoolVar) String() string { return b.Name }
+
+// CmpOp enumerates bitvector comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpUlt
+	OpUle
+	OpSlt
+	OpSle
+)
+
+var cmpOpNames = [...]string{"=", "<u", "<=u", "<s", "<=s"}
+
+func (op CmpOp) String() string { return cmpOpNames[op] }
+
+// Cmp compares two bitvectors and yields a boolean.
+type Cmp struct {
+	Op   CmpOp
+	X, Y BVExpr
+}
+
+func (c *Cmp) Sort() Sort     { return SortBool }
+func (c *Cmp) boolExpr()      {}
+func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.X, c.Op, c.Y) }
+
+func signed(v uint64, w uint) int64 {
+	if w == 64 {
+		return int64(v)
+	}
+	if v>>(w-1)&1 == 1 {
+		return int64(v | ^mask(w))
+	}
+	return int64(v)
+}
+
+func evalCmp(op CmpOp, x, y uint64, w uint) bool {
+	switch op {
+	case OpEq:
+		return x == y
+	case OpUlt:
+		return x < y
+	case OpUle:
+		return x <= y
+	case OpSlt:
+		return signed(x, w) < signed(y, w)
+	case OpSle:
+		return signed(x, w) <= signed(y, w)
+	}
+	panic("expr: unknown cmpop")
+}
+
+func newCmp(op CmpOp, x, y BVExpr) BoolExpr {
+	checkSameWidth(x, y)
+	cx, xc := x.(*Const)
+	cy, yc := y.(*Const)
+	if xc && yc {
+		return Bool(evalCmp(op, cx.V, cy.V, x.Width()))
+	}
+	if op == OpEq && x == y {
+		return True
+	}
+	if op == OpEq {
+		// Eq(x + c1, c2) → Eq(x, c2 - c1): solved forms shrink the CNF.
+		if bx, ok := x.(*Bin); ok && bx.Op == OpAdd {
+			if c1, ok := bx.Y.(*Const); ok && yc {
+				return newCmp(OpEq, bx.X, NewConst(cy.V-c1.V, x.Width()))
+			}
+		}
+		if by, ok := y.(*Bin); ok && by.Op == OpAdd {
+			if c1, ok := by.Y.(*Const); ok && xc {
+				return newCmp(OpEq, by.X, NewConst(cx.V-c1.V, y.Width()))
+			}
+		}
+	}
+	return &Cmp{Op: op, X: x, Y: y}
+}
+
+// Eq returns x = y.
+func Eq(x, y BVExpr) BoolExpr { return newCmp(OpEq, x, y) }
+
+// Neq returns x ≠ y.
+func Neq(x, y BVExpr) BoolExpr { return NotB(Eq(x, y)) }
+
+// Ult returns x <u y (unsigned).
+func Ult(x, y BVExpr) BoolExpr { return newCmp(OpUlt, x, y) }
+
+// Ule returns x <=u y (unsigned).
+func Ule(x, y BVExpr) BoolExpr { return newCmp(OpUle, x, y) }
+
+// Slt returns x <s y (signed).
+func Slt(x, y BVExpr) BoolExpr { return newCmp(OpSlt, x, y) }
+
+// Sle returns x <=s y (signed).
+func Sle(x, y BVExpr) BoolExpr { return newCmp(OpSle, x, y) }
+
+// Bool converts a Go bool to a boolean constant expression.
+func Bool(b bool) *BoolConst {
+	if b {
+		return True
+	}
+	return False
+}
+
+// NaryOp enumerates n-ary boolean connectives.
+type NaryOp uint8
+
+// Boolean connectives.
+const (
+	OpAndB NaryOp = iota
+	OpOrB
+)
+
+// Nary is an n-ary boolean conjunction or disjunction.
+type Nary struct {
+	Op   NaryOp
+	Args []BoolExpr
+}
+
+func (n *Nary) Sort() Sort { return SortBool }
+func (n *Nary) boolExpr()  {}
+func (n *Nary) String() string {
+	op := "and"
+	if n.Op == OpOrB {
+		op = "or"
+	}
+	parts := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("(%s %s)", op, strings.Join(parts, " "))
+}
+
+func newNary(op NaryOp, args []BoolExpr) BoolExpr {
+	unit := op == OpAndB // and's unit is true, or's unit is false
+	flat := make([]BoolExpr, 0, len(args))
+	for _, a := range args {
+		if c, ok := a.(*BoolConst); ok {
+			if c.B == unit {
+				continue // drop unit
+			}
+			return Bool(!unit) // absorbing element
+		}
+		if n, ok := a.(*Nary); ok && n.Op == op {
+			flat = append(flat, n.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	switch len(flat) {
+	case 0:
+		return Bool(unit)
+	case 1:
+		return flat[0]
+	}
+	return &Nary{Op: op, Args: flat}
+}
+
+// AndB returns the conjunction of args.
+func AndB(args ...BoolExpr) BoolExpr { return newNary(OpAndB, args) }
+
+// OrB returns the disjunction of args.
+func OrB(args ...BoolExpr) BoolExpr { return newNary(OpOrB, args) }
+
+// NotBExpr is boolean negation.
+type NotBExpr struct{ X BoolExpr }
+
+func (n *NotBExpr) Sort() Sort     { return SortBool }
+func (n *NotBExpr) boolExpr()      {}
+func (n *NotBExpr) String() string { return fmt.Sprintf("(not %s)", n.X) }
+
+// NotB returns the negation of x. Negated comparisons rewrite to their dual
+// (¬(a <u b) ≡ b <=u a), which keeps path conditions negation-free and the
+// CNF encoding slightly smaller.
+func NotB(x BoolExpr) BoolExpr {
+	switch v := x.(type) {
+	case *BoolConst:
+		return Bool(!v.B)
+	case *NotBExpr:
+		return v.X
+	case *Cmp:
+		switch v.Op {
+		case OpUlt:
+			return newCmp(OpUle, v.Y, v.X)
+		case OpUle:
+			return newCmp(OpUlt, v.Y, v.X)
+		case OpSlt:
+			return newCmp(OpSle, v.Y, v.X)
+		case OpSle:
+			return newCmp(OpSlt, v.Y, v.X)
+		}
+	}
+	return &NotBExpr{X: x}
+}
+
+// Implies returns x ⇒ y.
+func Implies(x, y BoolExpr) BoolExpr { return OrB(NotB(x), y) }
+
+// Iff returns x ⇔ y.
+func Iff(x, y BoolExpr) BoolExpr {
+	if cx, ok := x.(*BoolConst); ok {
+		if cx.B {
+			return y
+		}
+		return NotB(y)
+	}
+	if cy, ok := y.(*BoolConst); ok {
+		if cy.B {
+			return x
+		}
+		return NotB(x)
+	}
+	return AndB(Implies(x, y), Implies(y, x))
+}
+
+// ---------------------------------------------------------------------------
+// Memories
+// ---------------------------------------------------------------------------
+
+// MemExpr is implemented by memory-sorted expressions. A memory is a total
+// map from 64-bit addresses to 64-bit words.
+type MemExpr interface {
+	Expr
+	memExpr()
+}
+
+// MemVar is a memory variable (an initial memory).
+type MemVar struct{ Name string }
+
+// NewMemVar builds a memory variable.
+func NewMemVar(name string) *MemVar { return &MemVar{Name: name} }
+
+func (m *MemVar) Sort() Sort     { return SortMem }
+func (m *MemVar) memExpr()       {}
+func (m *MemVar) String() string { return m.Name }
+
+// Store is a memory update: the memory M with address Addr mapped to Val.
+type Store struct {
+	M    MemExpr
+	Addr BVExpr
+	Val  BVExpr
+}
+
+// NewStore builds a memory update.
+func NewStore(m MemExpr, addr, val BVExpr) *Store {
+	if addr.Width() != 64 || val.Width() != 64 {
+		panic("expr: memory store requires 64-bit address and value")
+	}
+	return &Store{M: m, Addr: addr, Val: val}
+}
+
+func (s *Store) Sort() Sort     { return SortMem }
+func (s *Store) memExpr()       {}
+func (s *Store) String() string { return fmt.Sprintf("%s[%s := %s]", s.M, s.Addr, s.Val) }
+
+// Read is a memory read: the 64-bit word of M at address Addr.
+type Read struct {
+	M    MemExpr
+	Addr BVExpr
+}
+
+// NewRead builds a memory read.
+func NewRead(m MemExpr, addr BVExpr) BVExpr {
+	if addr.Width() != 64 {
+		panic("expr: memory read requires 64-bit address")
+	}
+	return &Read{M: m, Addr: addr}
+}
+
+func (r *Read) Sort() Sort     { return SortBV }
+func (r *Read) Width() uint    { return 64 }
+func (r *Read) String() string { return fmt.Sprintf("%s[%s]", r.M, r.Addr) }

@@ -1,0 +1,316 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstNormalization(t *testing.T) {
+	c := NewConst(0x1ff, 8)
+	if c.V != 0xff {
+		t.Fatalf("expected truncation to 0xff, got %#x", c.V)
+	}
+	if c.Width() != 8 {
+		t.Fatalf("width = %d", c.Width())
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	x := C64(10)
+	y := C64(3)
+	cases := []struct {
+		got  BVExpr
+		want uint64
+	}{
+		{Add(x, y), 13},
+		{Sub(x, y), 7},
+		{Mul(x, y), 30},
+		{And(x, y), 2},
+		{Or(x, y), 11},
+		{Xor(x, y), 9},
+		{Shl(x, y), 80},
+		{Lshr(x, y), 1},
+		{Neg(x), ^uint64(10) + 1},
+		{Not(x), ^uint64(10)},
+	}
+	for i, c := range cases {
+		k, ok := c.got.(*Const)
+		if !ok {
+			t.Fatalf("case %d: not folded: %s", i, c.got)
+		}
+		if k.V != c.want {
+			t.Fatalf("case %d: got %#x want %#x", i, k.V, c.want)
+		}
+	}
+}
+
+func TestIdentityFolding(t *testing.T) {
+	v := V64("x")
+	if Add(v, C64(0)) != v {
+		t.Error("x + 0 should fold to x")
+	}
+	if Sub(v, C64(0)) != v {
+		t.Error("x - 0 should fold to x")
+	}
+	if And(v, C64(^uint64(0))) != v {
+		t.Error("x & ~0 should fold to x")
+	}
+	if k, ok := And(v, C64(0)).(*Const); !ok || k.V != 0 {
+		t.Error("x & 0 should fold to 0")
+	}
+	if Or(C64(0), v) != v {
+		t.Error("0 | x should fold to x")
+	}
+	if Mul(v, C64(1)) != v {
+		t.Error("x * 1 should fold to x")
+	}
+}
+
+func TestAshrConst(t *testing.T) {
+	x := NewConst(0x80, 8)
+	r := Ashr(x, NewConst(3, 8)).(*Const)
+	if r.V != 0xf0 {
+		t.Fatalf("ashr sign fill: got %#x want 0xf0", r.V)
+	}
+	r2 := Ashr(x, NewConst(100, 8)).(*Const)
+	if r2.V != 0xff {
+		t.Fatalf("ashr overshift negative: got %#x want 0xff", r2.V)
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	a := NewConst(0xff, 8) // -1 signed
+	b := NewConst(1, 8)
+	if Slt(a, b) != True {
+		t.Error("-1 <s 1 should be true")
+	}
+	if Ult(a, b) != False {
+		t.Error("0xff <u 1 should be false")
+	}
+	if Sle(a, a) != True {
+		t.Error("x <=s x should be true")
+	}
+}
+
+func TestBoolSimplification(t *testing.T) {
+	x := NewBoolVar("p")
+	if AndB(True, x) != x {
+		t.Error("true ∧ p should fold to p")
+	}
+	if AndB(False, x) != False {
+		t.Error("false ∧ p should fold to false")
+	}
+	if OrB(True, x) != True {
+		t.Error("true ∨ p should fold to true")
+	}
+	if NotB(NotB(x)) != x {
+		t.Error("double negation should cancel")
+	}
+	// Nested conjunction flattening.
+	y := NewBoolVar("q")
+	z := NewBoolVar("r")
+	n := AndB(AndB(x, y), z).(*Nary)
+	if len(n.Args) != 3 {
+		t.Errorf("flattening failed: %s", n)
+	}
+}
+
+func TestEvalAgainstGo(t *testing.T) {
+	// Property: symbolic evaluation of (x op y) matches direct Go arithmetic.
+	rng := rand.New(rand.NewSource(7))
+	f := func(x, y uint64, opIdx uint8) bool {
+		op := BinOp(opIdx % 9)
+		a := NewAssignment()
+		a.BV["x"] = x
+		a.BV["y"] = y
+		vx, vy := V64("x"), V64("y")
+		e := &Bin{Op: op, X: vx, Y: vy}
+		got := a.EvalBV(e)
+		want := evalBin(op, x, y, 64)
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalMemory(t *testing.T) {
+	a := NewAssignment()
+	mm := NewMemModel(0)
+	mm.Set(0x1000, 42)
+	a.Mem["mem"] = mm
+	a.BV["p"] = 0x1000
+
+	m := NewMemVar("mem")
+	if got := a.EvalBV(NewRead(m, V64("p"))); got != 42 {
+		t.Fatalf("read mapped address: got %d", got)
+	}
+	if got := a.EvalBV(NewRead(m, C64(0x2000))); got != 0 {
+		t.Fatalf("read default: got %d", got)
+	}
+	st := NewStore(m, C64(0x1000), C64(7))
+	if got := a.EvalBV(NewRead(st, V64("p"))); got != 7 {
+		t.Fatalf("read over write: got %d", got)
+	}
+	if got := a.EvalBV(NewRead(st, C64(0x1008))); got != 0 {
+		t.Fatalf("read past write: got %d", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	e := Eq(Add(V64("x"), C64(1)), NewRead(NewMemVar("mem"), V64("x")))
+	r := RenameBool(e, Suffix("_1"))
+	bv := map[string]bool{}
+	mv := map[string]bool{}
+	Vars(r, bv, nil, mv)
+	if !bv["x_1"] || bv["x"] {
+		t.Errorf("bv vars after rename: %v", bv)
+	}
+	if !mv["mem_1"] || mv["mem"] {
+		t.Errorf("mem vars after rename: %v", mv)
+	}
+}
+
+func TestSubst(t *testing.T) {
+	e := Add(V64("r0"), V64("r1"))
+	sub := map[string]BVExpr{"r0": C64(5), "r1": C64(6)}
+	r := SubstBV(e, sub, nil).(*Const)
+	if r.V != 11 {
+		t.Fatalf("subst+fold: got %d", r.V)
+	}
+}
+
+func TestExtractExt(t *testing.T) {
+	x := C64(0xabcd)
+	e := NewExtract(7, 0, x).(*Const)
+	if e.V != 0xcd || e.Width() != 8 {
+		t.Fatalf("extract: %v", e)
+	}
+	z := NewExt(ZeroExt, NewConst(0x80, 8), 16).(*Const)
+	if z.V != 0x80 {
+		t.Fatalf("zext: %#x", z.V)
+	}
+	sx := NewExt(SignExt, NewConst(0x80, 8), 16).(*Const)
+	if sx.V != 0xff80 {
+		t.Fatalf("sext: %#x", sx.V)
+	}
+}
+
+func TestIteFolding(t *testing.T) {
+	x, y := C64(1), C64(2)
+	if NewIte(True, x, y) != x {
+		t.Error("ite(true) should fold")
+	}
+	if NewIte(False, x, y) != y {
+		t.Error("ite(false) should fold")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	Add(C64(1), NewConst(1, 8))
+}
+
+func TestCanonicalization(t *testing.T) {
+	x := V64("x")
+	// Constant chains associate: (x + 1) + 2 == x + 3 structurally.
+	a := Add(Add(x, C64(1)), C64(2))
+	b := Add(x, C64(3))
+	if a.String() != b.String() {
+		t.Errorf("add chains do not normalize: %s vs %s", a, b)
+	}
+	// Subtraction folds into the same chain: (x - 1) + 2 == x + 1.
+	if got := Add(Sub(x, C64(1)), C64(2)).String(); got != Add(x, C64(1)).String() {
+		t.Errorf("sub-add mix: %s", got)
+	}
+	// Constants move right: 5 + x == x + 5.
+	if Add(C64(5), x).String() != Add(x, C64(5)).String() {
+		t.Error("const not commuted right")
+	}
+	// Shift chains combine.
+	if got := Lshr(Lshr(x, C64(6)), C64(2)).String(); got != Lshr(x, C64(8)).String() {
+		t.Errorf("lshr chain: %s", got)
+	}
+	// Mask chains combine.
+	if got := And(And(x, C64(0xff)), C64(0x0f)).String(); got != And(x, C64(0x0f)).String() {
+		t.Errorf("and chain: %s", got)
+	}
+	// x ^ x and x - x vanish.
+	if k, ok := Xor(x, x).(*Const); !ok || k.V != 0 {
+		t.Error("x^x should fold to 0")
+	}
+	if k, ok := Sub(x, x).(*Const); !ok || k.V != 0 {
+		t.Error("x-x should fold to 0")
+	}
+	// Solved equality: x + 10 = 17 ⇒ x = 7.
+	eq := Eq(Add(x, C64(10)), C64(17))
+	if eq.String() != Eq(x, C64(7)).String() {
+		t.Errorf("eq not solved: %s", eq)
+	}
+	// Negated comparisons dualize.
+	if NotB(Ult(x, C64(5))).String() != Ule(C64(5), x).String() {
+		t.Errorf("not-ult dual: %s", NotB(Ult(x, C64(5))))
+	}
+}
+
+// TestCanonicalizationPreservesSemantics: random expressions built two ways
+// must evaluate identically under random inputs.
+func TestCanonicalizationPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(xv uint64, c1, c2 uint16) bool {
+		a := NewAssignment()
+		a.BV["x"] = xv
+		x := V64("x")
+		pairs := [][2]BVExpr{
+			{Add(Add(x, C64(uint64(c1))), C64(uint64(c2))), nil},
+			{Sub(x, C64(uint64(c1))), nil},
+			{Add(Sub(x, C64(uint64(c1))), C64(uint64(c2))), nil},
+			{And(And(x, C64(uint64(c1))), C64(uint64(c2))), nil},
+			{Lshr(Lshr(x, C64(uint64(c1%32))), C64(uint64(c2%31))), nil},
+		}
+		want := []uint64{
+			xv + uint64(c1) + uint64(c2),
+			xv - uint64(c1),
+			xv - uint64(c1) + uint64(c2),
+			xv & uint64(c1) & uint64(c2),
+			shrTwice(xv, uint64(c1%32), uint64(c2%31)),
+		}
+		for i, p := range pairs {
+			if a.EvalBV(p[0]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func shrTwice(v, s1, s2 uint64) uint64 {
+	v >>= s1
+	v >>= s2
+	return v
+}
+
+// TestNotBDualsAgree: the dual rewriting of negated comparisons preserves
+// truth for all operand values, including the signed corner cases.
+func TestNotBDualsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	mk := []func(x, y BVExpr) BoolExpr{Ult, Ule, Slt, Sle}
+	f := func(xv, yv uint64, op uint8) bool {
+		a := NewAssignment()
+		a.BV["x"], a.BV["y"] = xv, yv
+		cmp := mk[op%4](V64("x"), V64("y"))
+		return a.EvalBool(NotB(cmp)) == !a.EvalBool(cmp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package expr
+
+import "fmt"
+
+// Rename rewrites every variable name (bitvector, boolean and memory) in e
+// through f, returning a new expression. It is used to instantiate a formula
+// for the two states s1 and s2 of a test case (suffixing names with "_1" or
+// "_2").
+func Rename(e Expr, f func(string) string) Expr {
+	switch v := e.(type) {
+	case *Const, *BoolConst:
+		return e
+	case *Var:
+		return NewVar(f(v.Name), v.W)
+	case *BoolVar:
+		return NewBoolVar(f(v.Name))
+	case *Bin:
+		return newBin(v.Op, RenameBV(v.X, f), RenameBV(v.Y, f))
+	case *Un:
+		x := RenameBV(v.X, f)
+		if v.Op == OpNot {
+			return Not(x)
+		}
+		return Neg(x)
+	case *Extract:
+		return NewExtract(v.Hi, v.Lo, RenameBV(v.X, f))
+	case *Ext:
+		return NewExt(v.Kind, RenameBV(v.X, f), v.W)
+	case *Ite:
+		return NewIte(RenameBool(v.Cond, f), RenameBV(v.Then, f), RenameBV(v.Else, f))
+	case *Cmp:
+		return newCmp(v.Op, RenameBV(v.X, f), RenameBV(v.Y, f))
+	case *Nary:
+		args := make([]BoolExpr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = RenameBool(a, f)
+		}
+		return newNary(v.Op, args)
+	case *NotBExpr:
+		return NotB(RenameBool(v.X, f))
+	case *MemVar:
+		return NewMemVar(f(v.Name))
+	case *Store:
+		return NewStore(RenameMem(v.M, f), RenameBV(v.Addr, f), RenameBV(v.Val, f))
+	case *Read:
+		return NewRead(RenameMem(v.M, f), RenameBV(v.Addr, f))
+	}
+	panic(fmt.Sprintf("expr: Rename on %T", e))
+}
+
+// RenameBV is Rename specialized to bitvector expressions.
+func RenameBV(e BVExpr, f func(string) string) BVExpr { return Rename(e, f).(BVExpr) }
+
+// RenameBool is Rename specialized to boolean expressions.
+func RenameBool(e BoolExpr, f func(string) string) BoolExpr { return Rename(e, f).(BoolExpr) }
+
+// RenameMem is Rename specialized to memory expressions.
+func RenameMem(e MemExpr, f func(string) string) MemExpr { return Rename(e, f).(MemExpr) }
+
+// Suffix returns a renaming function that appends sfx to every name.
+func Suffix(sfx string) func(string) string {
+	return func(name string) string { return name + sfx }
+}
+
+// Vars collects the variable names of each sort occurring in e into the
+// provided sets (any of which may be nil to skip collection).
+func Vars(e Expr, bv, boolv, memv map[string]bool) {
+	switch v := e.(type) {
+	case *Const, *BoolConst:
+	case *Var:
+		if bv != nil {
+			bv[v.Name] = true
+		}
+	case *BoolVar:
+		if boolv != nil {
+			boolv[v.Name] = true
+		}
+	case *Bin:
+		Vars(v.X, bv, boolv, memv)
+		Vars(v.Y, bv, boolv, memv)
+	case *Un:
+		Vars(v.X, bv, boolv, memv)
+	case *Extract:
+		Vars(v.X, bv, boolv, memv)
+	case *Ext:
+		Vars(v.X, bv, boolv, memv)
+	case *Ite:
+		Vars(v.Cond, bv, boolv, memv)
+		Vars(v.Then, bv, boolv, memv)
+		Vars(v.Else, bv, boolv, memv)
+	case *Cmp:
+		Vars(v.X, bv, boolv, memv)
+		Vars(v.Y, bv, boolv, memv)
+	case *Nary:
+		for _, a := range v.Args {
+			Vars(a, bv, boolv, memv)
+		}
+	case *NotBExpr:
+		Vars(v.X, bv, boolv, memv)
+	case *MemVar:
+		if memv != nil {
+			memv[v.Name] = true
+		}
+	case *Store:
+		Vars(v.M, bv, boolv, memv)
+		Vars(v.Addr, bv, boolv, memv)
+		Vars(v.Val, bv, boolv, memv)
+	case *Read:
+		Vars(v.M, bv, boolv, memv)
+		Vars(v.Addr, bv, boolv, memv)
+	default:
+		panic(fmt.Sprintf("expr: Vars on %T", e))
+	}
+}
+
+// SubstBV replaces bitvector variables in e according to sub (and memory
+// variables according to memSub; either map may be nil). It is the workhorse
+// of the symbolic executor: program expressions over register names are
+// instantiated with the current symbolic register values.
+func SubstBV(e Expr, sub map[string]BVExpr, memSub map[string]MemExpr) Expr {
+	switch v := e.(type) {
+	case *Const, *BoolConst, *BoolVar:
+		return e
+	case *Var:
+		if sub != nil {
+			if r, ok := sub[v.Name]; ok {
+				if r.Width() != v.W {
+					panic(fmt.Sprintf("expr: substitution width mismatch for %s", v.Name))
+				}
+				return r
+			}
+		}
+		return e
+	case *Bin:
+		return newBin(v.Op, SubstBV(v.X, sub, memSub).(BVExpr), SubstBV(v.Y, sub, memSub).(BVExpr))
+	case *Un:
+		x := SubstBV(v.X, sub, memSub).(BVExpr)
+		if v.Op == OpNot {
+			return Not(x)
+		}
+		return Neg(x)
+	case *Extract:
+		return NewExtract(v.Hi, v.Lo, SubstBV(v.X, sub, memSub).(BVExpr))
+	case *Ext:
+		return NewExt(v.Kind, SubstBV(v.X, sub, memSub).(BVExpr), v.W)
+	case *Ite:
+		return NewIte(SubstBV(v.Cond, sub, memSub).(BoolExpr),
+			SubstBV(v.Then, sub, memSub).(BVExpr),
+			SubstBV(v.Else, sub, memSub).(BVExpr))
+	case *Cmp:
+		return newCmp(v.Op, SubstBV(v.X, sub, memSub).(BVExpr), SubstBV(v.Y, sub, memSub).(BVExpr))
+	case *Nary:
+		args := make([]BoolExpr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = SubstBV(a, sub, memSub).(BoolExpr)
+		}
+		return newNary(v.Op, args)
+	case *NotBExpr:
+		return NotB(SubstBV(v.X, sub, memSub).(BoolExpr))
+	case *MemVar:
+		if memSub != nil {
+			if r, ok := memSub[v.Name]; ok {
+				return r
+			}
+		}
+		return e
+	case *Store:
+		return NewStore(SubstBV(v.M, sub, memSub).(MemExpr),
+			SubstBV(v.Addr, sub, memSub).(BVExpr),
+			SubstBV(v.Val, sub, memSub).(BVExpr))
+	case *Read:
+		return NewRead(SubstBV(v.M, sub, memSub).(MemExpr),
+			SubstBV(v.Addr, sub, memSub).(BVExpr))
+	}
+	panic(fmt.Sprintf("expr: SubstBV on %T", e))
+}

@@ -1,0 +1,398 @@
+// Package gen implements the QuickCheck-style program generators of the
+// paper's §5.4: seeded, composable generator combinators and the concrete
+// templates of Fig. 5 and Fig. 7 (Stride, A, B, C, D), with the register
+// allocation side constraints the paper describes.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scamv/internal/arm"
+)
+
+// G is a generator of T values driven by a seeded random source, in the
+// style of QuickCheck's monadic generators.
+type G[T any] func(r *rand.Rand) T
+
+// Const always generates v.
+func Const[T any](v T) G[T] { return func(*rand.Rand) T { return v } }
+
+// OneOf picks uniformly among the given values.
+func OneOf[T any](vs ...T) G[T] {
+	if len(vs) == 0 {
+		panic("gen: OneOf of nothing")
+	}
+	return func(r *rand.Rand) T { return vs[r.Intn(len(vs))] }
+}
+
+// IntRange picks uniformly in [lo, hi].
+func IntRange(lo, hi int) G[int] {
+	if hi < lo {
+		panic("gen: empty range")
+	}
+	return func(r *rand.Rand) int { return lo + r.Intn(hi-lo+1) }
+}
+
+// Map transforms the generated value.
+func Map[T, U any](g G[T], f func(T) U) G[U] {
+	return func(r *rand.Rand) U { return f(g(r)) }
+}
+
+// Bind sequences generators monadically.
+func Bind[T, U any](g G[T], f func(T) G[U]) G[U] {
+	return func(r *rand.Rand) U { return f(g(r))(r) }
+}
+
+// SuchThat retries g until the predicate holds (caller must ensure the
+// predicate is satisfiable with reasonable probability).
+func SuchThat[T any](g G[T], pred func(T) bool) G[T] {
+	return func(r *rand.Rand) T {
+		for i := 0; ; i++ {
+			v := g(r)
+			if pred(v) {
+				return v
+			}
+			if i > 10000 {
+				panic("gen: SuchThat retry budget exhausted")
+			}
+		}
+	}
+}
+
+// Reg picks a register from the template pool x0..x9.
+func Reg() G[arm.Reg] { return Map(IntRange(0, 9), arm.X) }
+
+// RegNotIn picks a pool register distinct from every register in avoid.
+func RegNotIn(avoid ...arm.Reg) G[arm.Reg] {
+	return SuchThat(Reg(), func(r arm.Reg) bool {
+		for _, a := range avoid {
+			if r == a {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// CondGen picks a comparison predicate.
+func CondGen() G[arm.Cond] {
+	return OneOf(arm.EQ, arm.NE, arm.HS, arm.LO, arm.HI, arm.LS, arm.GE, arm.LT, arm.GT, arm.LE)
+}
+
+// Template generates programs of one family.
+type Template interface {
+	Name() string
+	// Generate builds the idx-th program using the seeded source.
+	Generate(r *rand.Rand, idx int) *arm.Program
+}
+
+// ---------------------------------------------------------------------------
+// Stride Template (Fig. 5, M_part experiments)
+// ---------------------------------------------------------------------------
+
+// Stride generates 3–5 loads at equidistant offsets from a base register,
+// the pattern that can trigger the automatic cache prefetcher (§6.2). The
+// distance is a multiple of the cache line size so consecutive accesses fall
+// in different cache sets, as the paper's template ensures.
+type Stride struct {
+	// LineSize is the cache line size in bytes (default 64).
+	LineSize uint64
+}
+
+// Name implements Template.
+func (Stride) Name() string { return "stride" }
+
+// Generate implements Template.
+func (t Stride) Generate(r *rand.Rand, idx int) *arm.Program {
+	line := t.LineSize
+	if line == 0 {
+		line = 64
+	}
+	p := arm.NewProgram(fmt.Sprintf("stride-%d", idx))
+	base := Reg()(r)
+	n := IntRange(3, 5)(r)
+	v := uint64(IntRange(1, 2)(r)) * line
+	for i := 0; i < n; i++ {
+		dst := RegNotIn(base)(r)
+		p.Add(arm.Instr{Op: arm.LDRI, Rd: dst, Rn: base, Imm: uint64(i) * v})
+	}
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Template A (Fig. 5, M_ct experiments, §6.3)
+// ---------------------------------------------------------------------------
+
+// TemplateA is the single-speculative-load shape:
+//
+//	ldr r2, [r0, r1]
+//	if r1 < r4 { ldr r3, [r5, r2] }
+//
+// with the paper's side constraints r2 ≠ r1 and r4 ∉ {r1, r2}. The base
+// register r5 of the conditional load is unconstrained and occasionally
+// aliases r0 or r1, which is the subclass where unguided testing can
+// stumble on counterexamples (§6.3).
+type TemplateA struct{}
+
+// Name implements Template.
+func (TemplateA) Name() string { return "tplA" }
+
+// Generate implements Template.
+func (TemplateA) Generate(r *rand.Rand, idx int) *arm.Program {
+	r0 := Reg()(r)
+	r1 := RegNotIn(r0)(r)
+	r2 := RegNotIn(r1)(r)
+	r4 := RegNotIn(r1, r2)(r)
+	r5 := Reg()(r)
+	r3 := RegNotIn(r0, r1, r4, r5)(r)
+
+	p := arm.NewProgram(fmt.Sprintf("tplA-%d", idx))
+	p.Add(
+		arm.Instr{Op: arm.LDRR, Rd: r2, Rn: r0, Rm: r1},
+		arm.Instr{Op: arm.CMPR, Rn: r1, Rm: r4},
+		arm.Instr{Op: arm.BCC, Cond: arm.LO.Invert(), Label: "end"},
+		arm.Instr{Op: arm.LDRR, Rd: r3, Rn: r5, Rm: r2},
+	)
+	p.Mark("end")
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Template B (Fig. 5, §6.3)
+// ---------------------------------------------------------------------------
+
+// TemplateB is the general shape: zero to two loads before a branch with a
+// randomly chosen predicate, and one or two loads in the body. Register
+// placeholders are allocated with no side constraints, so the same machine
+// register may serve several roles (§6.3).
+type TemplateB struct{}
+
+// Name implements Template.
+func (TemplateB) Name() string { return "tplB" }
+
+// Generate implements Template.
+func (TemplateB) Generate(r *rand.Rand, idx int) *arm.Program {
+	p := arm.NewProgram(fmt.Sprintf("tplB-%d", idx))
+	nPre := IntRange(0, 2)(r)
+	for i := 0; i < nPre; i++ {
+		p.Add(arm.Instr{Op: arm.LDRR, Rd: Reg()(r), Rn: Reg()(r), Rm: Reg()(r)})
+	}
+	cond := CondGen()(r)
+	p.Add(
+		arm.Instr{Op: arm.CMPR, Rn: Reg()(r), Rm: Reg()(r)},
+		arm.Instr{Op: arm.BCC, Cond: cond.Invert(), Label: "end"},
+	)
+	nBody := IntRange(1, 2)(r)
+	for i := 0; i < nBody; i++ {
+		p.Add(arm.Instr{Op: arm.LDRR, Rd: Reg()(r), Rn: Reg()(r), Rm: Reg()(r)})
+	}
+	p.Mark("end")
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Template C (Fig. 7, §6.5)
+// ---------------------------------------------------------------------------
+
+// TemplateC guards two causally dependent loads (the second load's address
+// uses the first load's result), optionally interleaved with an arithmetic
+// operation — the Spectre-PHT shape. On a core that does not forward
+// transient load results, the second load cannot issue speculatively.
+type TemplateC struct{}
+
+// Name implements Template.
+func (TemplateC) Name() string { return "tplC" }
+
+// Generate implements Template.
+func (TemplateC) Generate(r *rand.Rand, idx int) *arm.Program {
+	rA := Reg()(r)
+	rB := RegNotIn(rA)(r)
+	r5 := Reg()(r)
+	r3 := Reg()(r)
+	r6 := RegNotIn(rA, rB, r5)(r)
+	r7 := Reg()(r)
+	r8 := RegNotIn(r6)(r)
+	cond := CondGen()(r)
+
+	p := arm.NewProgram(fmt.Sprintf("tplC-%d", idx))
+	p.Add(
+		arm.Instr{Op: arm.CMPR, Rn: rA, Rm: rB},
+		arm.Instr{Op: arm.BCC, Cond: cond.Invert(), Label: "end"},
+		arm.Instr{Op: arm.LDRR, Rd: r6, Rn: r5, Rm: r3},
+	)
+	if r.Intn(2) == 0 {
+		p.Add(arm.Instr{Op: arm.ADDI, Rd: r6, Rn: r6, Imm: uint64(IntRange(1, 64)(r))})
+	}
+	p.Add(arm.Instr{Op: arm.LDRR, Rd: r8, Rn: r7, Rm: r6})
+	p.Mark("end")
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Template D (Fig. 7, §6.5 — straight-line speculation)
+// ---------------------------------------------------------------------------
+
+// TemplateD places loads after a direct unconditional branch; the code after
+// the jump only executes if the core speculates past an unconditional
+// direct branch, which ARM claims (and the paper confirms) the A53 does not.
+type TemplateD struct{}
+
+// Name implements Template.
+func (TemplateD) Name() string { return "tplD" }
+
+// Generate implements Template.
+func (TemplateD) Generate(r *rand.Rand, idx int) *arm.Program {
+	p := arm.NewProgram(fmt.Sprintf("tplD-%d", idx))
+	if r.Intn(2) == 0 {
+		p.Add(arm.Instr{Op: arm.LDRR, Rd: Reg()(r), Rn: Reg()(r), Rm: Reg()(r)})
+	}
+	p.Add(arm.Instr{Op: arm.B, Label: "end"})
+	n := IntRange(1, 2)(r)
+	for i := 0; i < n; i++ {
+		p.Add(arm.Instr{Op: arm.LDRR, Rd: Reg()(r), Rn: Reg()(r), Rm: Reg()(r)})
+	}
+	p.Mark("end")
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Template composition
+// ---------------------------------------------------------------------------
+
+// Sequence composes templates in the QuickCheck style the paper describes
+// for its generators (§5.4: "the generators ... can be composed to generate
+// more complex programs to fit different attack scenarios"): each program
+// is the concatenation of one instance of every part, with labels
+// namespaced per part and trailing hlt instructions of all but the last
+// part removed.
+type Sequence struct {
+	Parts []Template
+	// SeqName overrides the generated name prefix.
+	SeqName string
+}
+
+// Name implements Template.
+func (s Sequence) Name() string {
+	if s.SeqName != "" {
+		return s.SeqName
+	}
+	name := "seq"
+	for _, p := range s.Parts {
+		name += "+" + p.Name()
+	}
+	return name
+}
+
+// Generate implements Template.
+func (s Sequence) Generate(r *rand.Rand, idx int) *arm.Program {
+	out := arm.NewProgram(fmt.Sprintf("%s-%d", s.Name(), idx))
+	for pi, part := range s.Parts {
+		p := part.Generate(r, idx)
+		last := pi == len(s.Parts)-1
+		// Remember label positions relative to this part.
+		base := len(out.Instrs)
+		trimmed := p.Instrs
+		if !last {
+			for len(trimmed) > 0 && trimmed[len(trimmed)-1].Op == arm.HLT {
+				trimmed = trimmed[:len(trimmed)-1]
+			}
+		}
+		rename := func(l string) string { return fmt.Sprintf("p%d_%s", pi, l) }
+		for _, ins := range trimmed {
+			if ins.IsBranch() {
+				ins.Label = rename(ins.Label)
+			}
+			out.Add(ins)
+		}
+		for l, pos := range p.Labels {
+			if pos > len(trimmed) {
+				pos = len(trimmed)
+			}
+			out.Labels[rename(l)] = base + pos
+		}
+	}
+	out.Add(arm.Instr{Op: arm.HLT})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Template Mul (variable-time arithmetic channel, §3 illustration)
+// ---------------------------------------------------------------------------
+
+// TemplateMul exercises the variable-time arithmetic channel: a public load
+// followed by one or two multiplies whose results flow into no memory access
+// or branch — constant-time-secure programs whose execution time
+// nevertheless depends on the multiplier operands on a core with an
+// early-terminating multiplier.
+type TemplateMul struct{}
+
+// Name implements Template.
+func (TemplateMul) Name() string { return "tplMul" }
+
+// Generate implements Template.
+func (TemplateMul) Generate(r *rand.Rand, idx int) *arm.Program {
+	p := arm.NewProgram(fmt.Sprintf("tplMul-%d", idx))
+	base := Reg()(r)
+	p.Add(arm.Instr{Op: arm.LDRI, Rd: RegNotIn(base)(r), Rn: base})
+	n := IntRange(1, 2)(r)
+	for i := 0; i < n; i++ {
+		ra := Reg()(r)
+		rb := RegNotIn(base)(r)
+		rd := RegNotIn(base, ra, rb)(r)
+		p.Add(arm.Instr{Op: arm.MULR, Rd: rd, Rn: ra, Rm: rb})
+	}
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Fixed SiSCloak programs (Fig. 6, §6.4)
+// ---------------------------------------------------------------------------
+
+// SiSCloak1 is the first counterexample of Fig. 6: Spectre-PHT with the
+// first array access hoisted above the bounds check. Register roles:
+// x0 = attacker-controlled index, x1 = bound (#A-size), x5 = #A, x7 = #B.
+func SiSCloak1() *arm.Program {
+	return arm.MustParse("siscloak1", `
+        ldr x2, [x5, x0]     ; x2 = A[x0], hoisted above the check
+        cmp x0, x1
+        b.hs end             ; if x0 < #A-size then
+        ldr x4, [x7, x2]     ;   x4 = B[x2]
+    end:
+        hlt
+    `)
+}
+
+// SiSCloak2 is the second counterexample of Fig. 6: the classification of
+// an array element is stored in its own high bit. Register roles: x0 =
+// attacker-controlled index, x5 = #A, x7 = #B.
+func SiSCloak2() *arm.Program {
+	return arm.MustParse("siscloak2", `
+        ldr x2, [x5, x0]         ; x2 = A[x0]
+        tst x2, #0x80000000      ; high bit: is the element confidential?
+        b.ne end                 ; if public then
+        ldr x4, [x7, x2]         ;   x4 = B[x2]
+    end:
+        hlt
+    `)
+}
+
+// SpectrePHT is the original Spectre-PHT victim of Fig. 6 (left column):
+// bounds check first, then the dependent double load. Register roles as in
+// SiSCloak1.
+func SpectrePHT() *arm.Program {
+	return arm.MustParse("spectre-pht", `
+        cmp x0, x1
+        b.hs end                 ; if x0 < #A-size then
+        ldr x2, [x5, x0]         ;   x2 = A[x0]
+        ldr x4, [x7, x2]         ;   x4 = B[x2]
+    end:
+        hlt
+    `)
+}

@@ -1,0 +1,334 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"scamv/internal/arm"
+)
+
+func TestCombinators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if Const(42)(r) != 42 {
+		t.Error("Const")
+	}
+	for i := 0; i < 100; i++ {
+		v := IntRange(3, 5)(r)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+		o := OneOf("a", "b")(r)
+		if o != "a" && o != "b" {
+			t.Fatalf("OneOf: %q", o)
+		}
+	}
+	m := Map(Const(10), func(x int) int { return x * 2 })(r)
+	if m != 20 {
+		t.Error("Map")
+	}
+	b := Bind(Const(3), func(x int) G[int] { return Const(x + 1) })(r)
+	if b != 4 {
+		t.Error("Bind")
+	}
+	ev := SuchThat(IntRange(0, 100), func(x int) bool { return x%2 == 0 })
+	for i := 0; i < 50; i++ {
+		if ev(r)%2 != 0 {
+			t.Fatal("SuchThat violated")
+		}
+	}
+}
+
+func TestRegNotIn(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	avoid := []arm.Reg{arm.X(0), arm.X(1), arm.X(2)}
+	for i := 0; i < 100; i++ {
+		reg := RegNotIn(avoid...)(r)
+		for _, a := range avoid {
+			if reg == a {
+				t.Fatal("RegNotIn produced an avoided register")
+			}
+		}
+	}
+}
+
+func validate(t *testing.T, tpl Template, n int) []*arm.Program {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	var out []*arm.Program
+	for i := 0; i < n; i++ {
+		p := tpl.Generate(r, i)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s #%d: %v\n%s", tpl.Name(), i, err, p)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestStrideTemplate(t *testing.T) {
+	for _, p := range validate(t, Stride{}, 50) {
+		loads := 0
+		var base arm.Reg = 255
+		var offsets []uint64
+		for _, ins := range p.Instrs {
+			if ins.Op == arm.LDRI {
+				loads++
+				if base == 255 {
+					base = ins.Rn
+				} else if ins.Rn != base {
+					t.Fatal("stride loads must share a base")
+				}
+				if ins.Rd == base {
+					t.Fatal("destination must differ from the base register")
+				}
+				offsets = append(offsets, ins.Imm)
+			}
+		}
+		if loads < 3 || loads > 5 {
+			t.Fatalf("stride length %d", loads)
+		}
+		v := offsets[1] - offsets[0]
+		if v == 0 || v%64 != 0 {
+			t.Fatalf("distance %d not a multiple of the line size", v)
+		}
+		for i := 1; i < len(offsets); i++ {
+			if offsets[i]-offsets[i-1] != v {
+				t.Fatal("offsets not equidistant")
+			}
+		}
+	}
+}
+
+func TestTemplateAConstraints(t *testing.T) {
+	for _, p := range validate(t, TemplateA{}, 100) {
+		// Shape: ldr, cmp, b.hs, ldr, end: hlt.
+		if len(p.Instrs) != 5 {
+			t.Fatalf("unexpected length %d:\n%s", len(p.Instrs), p)
+		}
+		ld1, cmp, bcc, ld2 := p.Instrs[0], p.Instrs[1], p.Instrs[2], p.Instrs[3]
+		if ld1.Op != arm.LDRR || cmp.Op != arm.CMPR || bcc.Op != arm.BCC || ld2.Op != arm.LDRR {
+			t.Fatalf("unexpected shape:\n%s", p)
+		}
+		r1, r2, r4 := ld1.Rm, ld1.Rd, cmp.Rm
+		if r2 == r1 {
+			t.Error("constraint r2 != r1 violated")
+		}
+		if r4 == r1 || r4 == r2 {
+			t.Error("constraint r4 not in {r1, r2} violated")
+		}
+		if ld2.Rm != r2 {
+			t.Error("body load must use the loaded value as index")
+		}
+	}
+}
+
+func TestTemplateAAliasSubclassOccurs(t *testing.T) {
+	// The unguided-counterexample subclass (§6.3) requires the body base
+	// register to alias r0 or r1 in some generated programs.
+	r := rand.New(rand.NewSource(123))
+	alias := 0
+	for i := 0; i < 200; i++ {
+		p := TemplateA{}.Generate(r, i)
+		ld1, ld2 := p.Instrs[0], p.Instrs[3]
+		if ld2.Rn == ld1.Rn || ld2.Rn == ld1.Rm {
+			alias++
+		}
+	}
+	if alias == 0 || alias == 200 {
+		t.Errorf("alias subclass should occur sometimes, got %d/200", alias)
+	}
+}
+
+func TestTemplateBShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	preCounts := map[int]bool{}
+	bodyCounts := map[int]bool{}
+	conds := map[arm.Cond]bool{}
+	for i := 0; i < 200; i++ {
+		p := TemplateB{}.Generate(r, i)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		pre, body := 0, 0
+		seenBranch := false
+		for _, ins := range p.Instrs {
+			switch {
+			case ins.Op == arm.BCC:
+				seenBranch = true
+				conds[ins.Cond] = true
+			case ins.IsLoad() && !seenBranch:
+				pre++
+			case ins.IsLoad():
+				body++
+			}
+		}
+		preCounts[pre] = true
+		bodyCounts[body] = true
+		if pre > 2 || body < 1 || body > 2 {
+			t.Fatalf("template B shape: pre=%d body=%d", pre, body)
+		}
+	}
+	if len(preCounts) < 3 || len(bodyCounts) < 2 || len(conds) < 5 {
+		t.Errorf("insufficient variety: pre=%v body=%v conds=%d", preCounts, bodyCounts, len(conds))
+	}
+}
+
+func TestTemplateCDependentLoads(t *testing.T) {
+	for _, p := range validate(t, TemplateC{}, 100) {
+		var loads []arm.Instr
+		for _, ins := range p.Instrs {
+			if ins.IsLoad() {
+				loads = append(loads, ins)
+			}
+		}
+		if len(loads) != 2 {
+			t.Fatalf("template C must have 2 loads:\n%s", p)
+		}
+		// Causal dependency: the second load's index is the first's dest.
+		if loads[1].Rm != loads[0].Rd && loads[1].Rn != loads[0].Rd {
+			t.Fatalf("loads not causally dependent:\n%s", p)
+		}
+	}
+}
+
+func TestTemplateDDeadLoads(t *testing.T) {
+	for _, p := range validate(t, TemplateD{}, 50) {
+		// There must be a direct B whose target skips at least one load.
+		bIdx := -1
+		for i, ins := range p.Instrs {
+			if ins.Op == arm.B {
+				bIdx = i
+			}
+		}
+		if bIdx < 0 {
+			t.Fatalf("no unconditional branch:\n%s", p)
+		}
+		target := p.Labels[p.Instrs[bIdx].Label]
+		deadLoads := 0
+		for i := bIdx + 1; i < target; i++ {
+			if p.Instrs[i].IsLoad() {
+				deadLoads++
+			}
+		}
+		if deadLoads < 1 {
+			t.Fatalf("no dead loads after the jump:\n%s", p)
+		}
+	}
+}
+
+func TestFixedPrograms(t *testing.T) {
+	for _, p := range []*arm.Program{SiSCloak1(), SiSCloak2(), SpectrePHT()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	// SiSCloak1 hoists the array load above the check; Spectre-PHT keeps
+	// it inside.
+	if !SiSCloak1().Instrs[0].IsLoad() {
+		t.Error("siscloak1 must start with the hoisted load")
+	}
+	if SpectrePHT().Instrs[0].IsLoad() {
+		t.Error("spectre-pht must start with the bounds check")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gen := func() string {
+		r := rand.New(rand.NewSource(99))
+		out := ""
+		for i := 0; i < 10; i++ {
+			out += TemplateB{}.Generate(r, i).String()
+		}
+		return out
+	}
+	if gen() != gen() {
+		t.Error("generation must be deterministic per seed")
+	}
+}
+
+func TestTemplateMul(t *testing.T) {
+	for _, p := range validate(t, TemplateMul{}, 50) {
+		loads, muls := 0, 0
+		for _, ins := range p.Instrs {
+			if ins.IsLoad() {
+				loads++
+			}
+			if ins.Op == arm.MULR {
+				muls++
+			}
+		}
+		if loads != 1 || muls < 1 || muls > 2 {
+			t.Fatalf("template mul shape: loads=%d muls=%d\n%s", loads, muls, p)
+		}
+	}
+}
+
+// Every template instance must be expressible as real A64 machine code and
+// survive the encode/decode round trip — the pipeline's nominal input is
+// binary programs.
+func TestAllTemplatesEncodable(t *testing.T) {
+	r := rand.New(rand.NewSource(2021))
+	templates := []Template{Stride{}, TemplateA{}, TemplateB{}, TemplateC{}, TemplateD{}, TemplateMul{}}
+	for _, tpl := range templates {
+		for i := 0; i < 30; i++ {
+			p := tpl.Generate(r, i)
+			words, err := arm.Encode(p)
+			if err != nil {
+				t.Fatalf("%s #%d not encodable: %v\n%s", tpl.Name(), i, err, p)
+			}
+			q, err := arm.Decode(p.Name, words)
+			if err != nil {
+				t.Fatalf("%s #%d not decodable: %v", tpl.Name(), i, err)
+			}
+			if len(q.Instrs) != len(p.Instrs) {
+				t.Fatalf("%s #%d: decode changed length", tpl.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSequenceComposition(t *testing.T) {
+	seq := Sequence{Parts: []Template{TemplateA{}, Stride{}}}
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		p := seq.Generate(r, i)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("#%d: %v\n%s", i, err, p)
+		}
+		// Exactly one branch (from Template A) and at least 3+2 loads.
+		branches, loads, hlts := 0, 0, 0
+		for _, ins := range p.Instrs {
+			if ins.Op == arm.BCC {
+				branches++
+			}
+			if ins.IsLoad() {
+				loads++
+			}
+			if ins.Op == arm.HLT {
+				hlts++
+			}
+		}
+		if branches != 1 || loads < 5 {
+			t.Fatalf("#%d: branches=%d loads=%d\n%s", i, branches, loads, p)
+		}
+		if hlts == 0 {
+			t.Fatalf("#%d: no terminator", i)
+		}
+		// Intermediate hlt must not cut the program short: the branch's
+		// "end" label must resolve inside the program.
+		if _, err := arm.Encode(p); err != nil {
+			t.Fatalf("#%d: not encodable: %v", i, err)
+		}
+	}
+}
+
+func TestSequenceName(t *testing.T) {
+	s := Sequence{Parts: []Template{TemplateA{}, TemplateD{}}}
+	if s.Name() != "seq+tplA+tplD" {
+		t.Errorf("name: %s", s.Name())
+	}
+	s2 := Sequence{Parts: []Template{Stride{}}, SeqName: "custom"}
+	if s2.Name() != "custom" {
+		t.Errorf("name: %s", s2.Name())
+	}
+}

@@ -1,0 +1,234 @@
+// Package lifter translates arm programs into bir programs, mirroring
+// HolBA's binary-to-BIR transpilation step in the Scam-V pipeline.
+//
+// Flag handling follows the compare-and-branch idiom of the generated
+// templates: cmp/tst record their operands in the ghost registers _cca and
+// _ccb, and a following b.<cond> lowers to a conditional jump whose guard is
+// the corresponding comparison of the ghost registers. This is exact for
+// programs in which flags are only produced by cmp/tst and only consumed by
+// conditional branches — which holds for every generated template.
+package lifter
+
+import (
+	"fmt"
+
+	"scamv/internal/arm"
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+)
+
+// Ghost register names for the most recent compare operands.
+const (
+	CmpA = "_cca"
+	CmpB = "_ccb"
+)
+
+// RegName returns the BIR variable name of an ARM register.
+func RegName(r arm.Reg) string { return fmt.Sprintf("x%d", uint8(r)) }
+
+// regE is the value of a register as an expression (XZR reads as zero).
+func regE(r arm.Reg) expr.BVExpr {
+	if r == arm.XZR {
+		return expr.C64(0)
+	}
+	return expr.V64(RegName(r))
+}
+
+// CondExpr builds the guard expression of b.<cond> over the ghost compare
+// registers (exported for the observational models that need to rebuild
+// branch guards).
+func CondExpr(c arm.Cond) expr.BoolExpr {
+	a, b := expr.V64(CmpA), expr.V64(CmpB)
+	switch c {
+	case arm.EQ:
+		return expr.Eq(a, b)
+	case arm.NE:
+		return expr.Neq(a, b)
+	case arm.HS:
+		return expr.Ule(b, a)
+	case arm.LO:
+		return expr.Ult(a, b)
+	case arm.HI:
+		return expr.Ult(b, a)
+	case arm.LS:
+		return expr.Ule(a, b)
+	case arm.GE:
+		return expr.Sle(b, a)
+	case arm.LT:
+		return expr.Slt(a, b)
+	case arm.GT:
+		return expr.Slt(b, a)
+	case arm.LE:
+		return expr.Sle(a, b)
+	}
+	panic("lifter: unknown condition")
+}
+
+// Lift translates an arm program into a bir program. Basic blocks are split
+// at labels and after branches; block labels are "L<n>" where n is the index
+// of the leader instruction ("Lend" for the end of the program).
+func Lift(p *arm.Program) (*bir.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Instrs)
+
+	// Identify leaders.
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[n] = true
+	for _, idx := range p.Labels {
+		leader[idx] = true
+	}
+	for i, ins := range p.Instrs {
+		if ins.IsBranch() || ins.Op == arm.HLT {
+			leader[i+1] = true
+		}
+	}
+
+	blockLabel := func(idx int) string {
+		if idx >= n {
+			return "Lend"
+		}
+		return fmt.Sprintf("L%d", idx)
+	}
+	target := func(label string) (string, error) {
+		idx, ok := p.Target(label)
+		if !ok {
+			return "", fmt.Errorf("lifter: unknown label %q", label)
+		}
+		return blockLabel(idx), nil
+	}
+
+	var blocks []*bir.Block
+	i := 0
+	for i < n {
+		start := i
+		blk := &bir.Block{Label: blockLabel(start)}
+		for i < n && blk.Term == nil {
+			if i > start && leader[i] {
+				// The next instruction starts another block: fall through.
+				blk.Term = &bir.Jmp{Target: blockLabel(i)}
+				break
+			}
+			ins := p.Instrs[i]
+			switch ins.Op {
+			case arm.HLT:
+				blk.Term = &bir.Halt{}
+				i++
+			case arm.B:
+				t, err := target(ins.Label)
+				if err != nil {
+					return nil, err
+				}
+				blk.Term = &bir.Jmp{Target: t}
+				i++
+			case arm.BCC:
+				t, err := target(ins.Label)
+				if err != nil {
+					return nil, err
+				}
+				blk.Term = &bir.CondJmp{
+					Cond:  CondExpr(ins.Cond),
+					True:  t,
+					False: blockLabel(i + 1),
+				}
+				i++
+			default:
+				blk.Stmts = append(blk.Stmts, liftStraight(ins)...)
+				i++
+			}
+		}
+		if blk.Term == nil {
+			blk.Term = &bir.Halt{} // fell off the end of the program
+		}
+		blocks = append(blocks, blk)
+	}
+	// Terminal empty block.
+	blocks = append(blocks, &bir.Block{Label: "Lend", Term: &bir.Halt{}})
+
+	bp := bir.New(p.Name, blocks...)
+	if err := bp.Validate(); err != nil {
+		return nil, err
+	}
+	return bp, nil
+}
+
+// liftStraight lifts a non-control-flow instruction.
+func liftStraight(ins arm.Instr) []bir.Stmt {
+	dst := RegName(ins.Rd)
+	discard := ins.Rd == arm.XZR
+	assign := func(rhs expr.BVExpr) []bir.Stmt {
+		if discard {
+			return nil
+		}
+		return []bir.Stmt{&bir.Assign{Dst: dst, Rhs: rhs}}
+	}
+	addrRR := func() expr.BVExpr { return expr.Add(regE(ins.Rn), regE(ins.Rm)) }
+	addrRI := func() expr.BVExpr { return expr.Add(regE(ins.Rn), expr.C64(ins.Imm)) }
+
+	switch ins.Op {
+	case arm.NOP:
+		return nil
+	case arm.MOVZ:
+		return assign(expr.C64(ins.Imm))
+	case arm.MOVR:
+		return assign(regE(ins.Rn))
+	case arm.ADDI:
+		return assign(expr.Add(regE(ins.Rn), expr.C64(ins.Imm)))
+	case arm.ADDR:
+		return assign(expr.Add(regE(ins.Rn), regE(ins.Rm)))
+	case arm.SUBI:
+		return assign(expr.Sub(regE(ins.Rn), expr.C64(ins.Imm)))
+	case arm.SUBR:
+		return assign(expr.Sub(regE(ins.Rn), regE(ins.Rm)))
+	case arm.ANDI:
+		return assign(expr.And(regE(ins.Rn), expr.C64(ins.Imm)))
+	case arm.ANDR:
+		return assign(expr.And(regE(ins.Rn), regE(ins.Rm)))
+	case arm.ORRR:
+		return assign(expr.Or(regE(ins.Rn), regE(ins.Rm)))
+	case arm.EORR:
+		return assign(expr.Xor(regE(ins.Rn), regE(ins.Rm)))
+	case arm.LSLI:
+		return assign(expr.Shl(regE(ins.Rn), expr.C64(ins.Imm)))
+	case arm.LSRI:
+		return assign(expr.Lshr(regE(ins.Rn), expr.C64(ins.Imm)))
+	case arm.MULR:
+		return assign(expr.Mul(regE(ins.Rn), regE(ins.Rm)))
+	case arm.LDRR:
+		return []bir.Stmt{&bir.Load{Dst: loadDst(ins.Rd), Addr: addrRR()}}
+	case arm.LDRI:
+		return []bir.Stmt{&bir.Load{Dst: loadDst(ins.Rd), Addr: addrRI()}}
+	case arm.STRR:
+		return []bir.Stmt{&bir.Store{Addr: addrRR(), Val: regE(ins.Rd)}}
+	case arm.STRI:
+		return []bir.Stmt{&bir.Store{Addr: addrRI(), Val: regE(ins.Rd)}}
+	case arm.CMPR:
+		return []bir.Stmt{
+			&bir.Assign{Dst: CmpA, Rhs: regE(ins.Rn)},
+			&bir.Assign{Dst: CmpB, Rhs: regE(ins.Rm)},
+		}
+	case arm.CMPI:
+		return []bir.Stmt{
+			&bir.Assign{Dst: CmpA, Rhs: regE(ins.Rn)},
+			&bir.Assign{Dst: CmpB, Rhs: expr.C64(ins.Imm)},
+		}
+	case arm.TSTI:
+		return []bir.Stmt{
+			&bir.Assign{Dst: CmpA, Rhs: expr.And(regE(ins.Rn), expr.C64(ins.Imm))},
+			&bir.Assign{Dst: CmpB, Rhs: expr.C64(0)},
+		}
+	}
+	panic(fmt.Sprintf("lifter: cannot lift %s", ins))
+}
+
+// loadDst is the destination register of a load; loads to XZR still access
+// memory (and thus remain observable) but their result is discarded into a
+// sink register.
+func loadDst(r arm.Reg) string {
+	if r == arm.XZR {
+		return "_sink"
+	}
+	return RegName(r)
+}

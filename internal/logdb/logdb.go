@@ -1,0 +1,126 @@
+// Package logdb is a small JSON-lines experiment log, standing in for the
+// SQLite-based EmbExp-Logs database of the original Scam-V artifact: every
+// executed experiment appends one record, and whole runs can be reloaded
+// for offline analysis.
+package logdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record describes one executed experiment.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Program    string `json:"program"`
+	Asm        string `json:"asm,omitempty"`
+	TestIndex  int    `json:"test_index"`
+	PathA      int    `json:"path_a"`
+	PathB      int    `json:"path_b"`
+	Class      int    `json:"class"`
+	Verdict    string `json:"verdict"`
+	GenMicros  int64  `json:"gen_us"`
+	ExeMicros  int64  `json:"exe_us"`
+	// Diff lists where the two states of the test case differ (register
+	// names, plus "mem" when the initial memory images differ): the raw
+	// material for the counterexample pattern analysis of the paper's §1.
+	Diff []string `json:"diff,omitempty"`
+}
+
+// DB appends records to an underlying writer, one JSON object per line.
+// It is safe for concurrent use.
+type DB struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	n      int
+}
+
+// NewWriter wraps an arbitrary writer (e.g. a bytes.Buffer in tests).
+func NewWriter(w io.Writer) *DB {
+	return &DB{w: bufio.NewWriter(w)}
+}
+
+// Open creates (or truncates) a log file.
+func Open(path string) (*DB, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("logdb: %w", err)
+	}
+	return &DB{w: bufio.NewWriter(f), closer: f}, nil
+}
+
+// Append writes one record.
+func (d *DB) Append(r Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("logdb: %w", err)
+	}
+	if _, err := d.w.Write(b); err != nil {
+		return fmt.Errorf("logdb: %w", err)
+	}
+	if err := d.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("logdb: %w", err)
+	}
+	d.n++
+	return nil
+}
+
+// Len returns the number of appended records.
+func (d *DB) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Close flushes and closes the underlying file, if any.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("logdb: %w", err)
+	}
+	if d.closer != nil {
+		return d.closer.Close()
+	}
+	return nil
+}
+
+// Load reads all records from a log file.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logdb: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read decodes records from a reader.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("logdb: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logdb: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package logdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestAppendAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	db := NewWriter(&buf)
+	recs := []Record{
+		{Experiment: "e1", Program: "p0", TestIndex: 0, Verdict: "counterexample", GenMicros: 12, ExeMicros: 34},
+		{Experiment: "e1", Program: "p0", TestIndex: 1, Verdict: "indistinguishable"},
+		{Experiment: "e1", Program: "p1", TestIndex: 0, PathA: 1, PathB: 1, Class: 61, Verdict: "inconclusive"},
+	}
+	for _, r := range recs {
+		if err := db.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != 3 {
+		t.Fatalf("len: %d", db.Len())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(Record{Experiment: "x", Verdict: "counterexample"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Experiment != "x" {
+		t.Fatalf("loaded: %+v", recs)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBadLine(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{\"experiment\":\"a\"}\nnot json\n")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	db := NewWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = db.Append(Record{Experiment: "c", TestIndex: n*100 + j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 400 {
+		t.Fatalf("records: %d", len(recs))
+	}
+}

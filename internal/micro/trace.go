@@ -1,0 +1,140 @@
+package micro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one microarchitectural occurrence during a Run, for debugging
+// experiments and understanding counterexamples (the role the original
+// framework's experiment logs and debugger hooks play).
+type Event struct {
+	Kind EventKind
+	// PC is the instruction index the event belongs to (-1 for events
+	// outside instruction execution, e.g. noise fills).
+	PC int
+	// Addr is the memory address for access/fill/prefetch events.
+	Addr uint64
+	// Hit reports cache hit/miss for access events.
+	Hit bool
+	// Taken / Predicted describe branch events.
+	Taken, Predicted bool
+	// Transient marks events from the speculation window.
+	Transient bool
+}
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvAccess EventKind = iota // demand or transient data access
+	EvPrefetch
+	EvBranch
+	EvSpeculate // a speculation window opened
+	EvNoise
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAccess:
+		return "access"
+	case EvPrefetch:
+		return "prefetch"
+	case EvBranch:
+		return "branch"
+	case EvSpeculate:
+		return "speculate"
+	case EvNoise:
+		return "noise"
+	}
+	return "event(?)"
+}
+
+// String renders one event compactly.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s pc=%d", e.Kind, e.PC)
+	switch e.Kind {
+	case EvAccess:
+		fmt.Fprintf(&sb, " addr=%#x hit=%v", e.Addr, e.Hit)
+	case EvPrefetch, EvNoise:
+		fmt.Fprintf(&sb, " addr=%#x", e.Addr)
+	case EvBranch:
+		fmt.Fprintf(&sb, " taken=%v predicted=%v", e.Taken, e.Predicted)
+	}
+	if e.Transient {
+		sb.WriteString(" transient")
+	}
+	return sb.String()
+}
+
+// Trace collects events when attached to a machine via Machine.Attach.
+type Trace struct {
+	Events []Event
+}
+
+// Attach installs a trace collector; pass nil to detach.
+func (m *Machine) Attach(t *Trace) { m.trace = t }
+
+func (m *Machine) emit(e Event) {
+	if m.trace != nil {
+		m.trace.Events = append(m.trace.Events, e)
+	}
+}
+
+// Accesses returns the addresses of all (demand and transient) accesses in
+// program order.
+func (t *Trace) Accesses() []uint64 {
+	var out []uint64
+	for _, e := range t.Events {
+		if e.Kind == EvAccess {
+			out = append(out, e.Addr)
+		}
+	}
+	return out
+}
+
+// TransientAccesses returns only the speculative access addresses.
+func (t *Trace) TransientAccesses() []uint64 {
+	var out []uint64
+	for _, e := range t.Events {
+		if e.Kind == EvAccess && e.Transient {
+			out = append(out, e.Addr)
+		}
+	}
+	return out
+}
+
+// Prefetches returns the prefetched addresses.
+func (t *Trace) Prefetches() []uint64 {
+	var out []uint64
+	for _, e := range t.Events {
+		if e.Kind == EvPrefetch {
+			out = append(out, e.Addr)
+		}
+	}
+	return out
+}
+
+// Mispredictions counts branch events whose prediction disagreed with the
+// outcome.
+func (t *Trace) Mispredictions() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == EvBranch && e.Taken != e.Predicted {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, e := range t.Events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

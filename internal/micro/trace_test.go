@@ -1,0 +1,115 @@
+package micro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scamv/internal/arm"
+	"scamv/internal/expr"
+)
+
+func TestTraceRecordsAccessesAndPrefetch(t *testing.T) {
+	m := New(DefaultConfig())
+	tr := &Trace{}
+	m.Attach(tr)
+	p, _ := arm.Parse("t", `
+        ldr x1, [x0]
+        ldr x2, [x0, #0x40]
+        ldr x3, [x0, #0x80]
+        hlt`)
+	m.LoadState(map[string]uint64{"x0": 0}, expr.NewMemModel(0))
+	if err := m.Run(p, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Accesses(); len(got) != 3 || got[0] != 0 || got[1] != 0x40 || got[2] != 0x80 {
+		t.Fatalf("accesses: %#v", got)
+	}
+	if pf := tr.Prefetches(); len(pf) != 1 || pf[0] != 0xc0 {
+		t.Fatalf("prefetches: %#v", pf)
+	}
+	if tr.Mispredictions() != 0 || len(tr.TransientAccesses()) != 0 {
+		t.Error("no speculation expected")
+	}
+	if !strings.Contains(tr.String(), "prefetch") {
+		t.Errorf("trace rendering:\n%s", tr)
+	}
+}
+
+func TestTraceRecordsSpeculation(t *testing.T) {
+	m := New(DefaultConfig())
+	p, _ := arm.Parse("t", siscloakSrc)
+	// Train toward the body, then attack.
+	train := map[string]uint64{"x0": 0, "x1": 8, "x5": 0x10000, "x7": 0x20000}
+	if err := trainTaken(m, p, train, 4); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	m.Attach(tr)
+	mm := expr.NewMemModel(0)
+	mm.Set(0x10000+16, 0x40*9)
+	m.LoadState(map[string]uint64{"x0": 16, "x1": 8, "x5": 0x10000, "x7": 0x20000}, mm)
+	m.ResetMicro()
+	if err := m.Run(p, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mispredictions() != 1 {
+		t.Fatalf("mispredictions: %d", tr.Mispredictions())
+	}
+	ta := tr.TransientAccesses()
+	if len(ta) != 1 || ta[0] != 0x20000+0x40*9 {
+		t.Fatalf("transient accesses: %#v", ta)
+	}
+	// The trace includes a speculate event with the transient flag.
+	found := false
+	for _, e := range tr.Events {
+		if e.Kind == EvSpeculate && e.Transient {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no speculate event recorded")
+	}
+}
+
+func TestTraceDetach(t *testing.T) {
+	m := New(DefaultConfig())
+	tr := &Trace{}
+	m.Attach(tr)
+	m.Attach(nil)
+	p, _ := arm.Parse("t", "ldr x1, [x0]\nhlt")
+	m.LoadState(nil, expr.NewMemModel(0))
+	if err := m.Run(p, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 0 {
+		t.Error("detached trace must not record")
+	}
+}
+
+func TestTraceNoiseEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseProb = 1
+	m := New(cfg)
+	tr := &Trace{}
+	m.Attach(tr)
+	p, _ := arm.Parse("t", "hlt")
+	m.LoadState(nil, expr.NewMemModel(0))
+	if err := m.Run(p, 0, newRand(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Kind != EvNoise || tr.Events[0].PC != -1 {
+		t.Fatalf("events: %v", tr.Events)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvAccess, EvPrefetch, EvBranch, EvSpeculate, EvNoise} {
+		if strings.Contains(k.String(), "?") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+// newRand is a tiny helper so the trace tests read cleanly.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,284 @@
+// Package obs defines the observational models of the paper as
+// instrumentation passes over BIR programs, together with the supporting
+// models used for coverage (§4.1).
+//
+// A ModelPair couples the model under validation M1 with the refined model
+// M2 used to guide state-space exploration (paper §3). A single
+// instrumentation pass inserts observations for M2 with tags distinguishing
+// those that already belong to M1 (bir.TagBase) from those exclusive to M2
+// (bir.TagRefined); the projection π of §5.1 is tag filtering, so symbolic
+// execution runs once per program.
+//
+// Cache-channel observations are line-granular (the address right-shifted by
+// the line-offset bits): an attacker probing the data cache distinguishes
+// lines, not byte offsets. This follows the prior Scam-V work the paper
+// builds on, where cache observations expose tag and set index.
+package obs
+
+import (
+	"fmt"
+
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+	"scamv/internal/spec"
+)
+
+// Geometry describes the cache geometry shared between the observational
+// models and the hardware simulator. The defaults match the Cortex-A53 L1D
+// modelled in internal/micro: 64-byte lines, 128 sets.
+type Geometry struct {
+	LineBits uint // log2(line size in bytes)
+	SetBits  uint // log2(number of sets)
+}
+
+// DefaultGeometry is the Cortex-A53 L1D geometry (64 B lines, 128 sets).
+var DefaultGeometry = Geometry{LineBits: 6, SetBits: 7}
+
+// LineOf returns the line identifier of an address (tag plus set index).
+func (g Geometry) LineOf(addr expr.BVExpr) expr.BVExpr {
+	return expr.Lshr(addr, expr.C64(uint64(g.LineBits)))
+}
+
+// SetOf returns the cache set index of an address as a SetBits-wide value.
+func (g Geometry) SetOf(addr expr.BVExpr) expr.BVExpr {
+	return expr.NewExtract(g.LineBits+g.SetBits-1, g.LineBits, addr)
+}
+
+// SetOfConst is SetOf on a concrete address.
+func (g Geometry) SetOfConst(addr uint64) uint64 {
+	return addr >> g.LineBits & ((1 << g.SetBits) - 1)
+}
+
+// ARRegion is the attacker-accessible region of the cache, expressed as an
+// inclusive range of set indexes (paper §6.2: AR(v) ≜ lo ≤ line(v) ≤ hi).
+type ARRegion struct {
+	Lo, Hi uint64
+	Geom   Geometry
+}
+
+// Pred builds the AR predicate over a symbolic address.
+func (r ARRegion) Pred(addr expr.BVExpr) expr.BoolExpr {
+	set := r.Geom.SetOf(addr)
+	w := set.Width()
+	return expr.AndB(
+		expr.Ule(expr.NewConst(r.Lo, w), set),
+		expr.Ule(set, expr.NewConst(r.Hi, w)),
+	)
+}
+
+// Contains reports whether a concrete address falls in the region.
+func (r ARRegion) Contains(addr uint64) bool {
+	s := r.Geom.SetOfConst(addr)
+	return r.Lo <= s && s <= r.Hi
+}
+
+func (r ARRegion) String() string { return fmt.Sprintf("AR[%d..%d]", r.Lo, r.Hi) }
+
+// ModelPair is a (model under validation, refined model) pair realized as a
+// single tagged instrumentation pass.
+type ModelPair interface {
+	// Name identifies the pair, e.g. "Mct+Mspec".
+	Name() string
+	// Refined reports whether M2 adds observations beyond M1 (i.e. whether
+	// refinement guidance is active).
+	Refined() bool
+	// Instrument returns the tagged-observation version of p.
+	Instrument(p *bir.Program) (*bir.Program, error)
+}
+
+// boolToBV renders a boolean observation value as a 1-bit vector.
+func boolToBV(b expr.BoolExpr) expr.BVExpr {
+	return expr.NewIte(b, expr.NewConst(1, 1), expr.NewConst(0, 1))
+}
+
+// ---------------------------------------------------------------------------
+// M_part / M_part' — cache partitioning vs. prefetching (§4.2.1)
+// ---------------------------------------------------------------------------
+
+// MPart is the cache-partitioning model M_part: the line of every memory
+// access inside the attacker-accessible region is observed. When
+// WithRefinement is set it also carries the refined model M_part', which
+// observes the line of every access unconditionally (TagRefined), so that
+// generated state pairs must differ in accesses outside the region.
+type MPart struct {
+	AR             ARRegion
+	WithRefinement bool
+}
+
+// Name implements ModelPair.
+func (m *MPart) Name() string {
+	if m.WithRefinement {
+		return "Mpart+Mpart'"
+	}
+	return "Mpart"
+}
+
+// Refined implements ModelPair.
+func (m *MPart) Refined() bool { return m.WithRefinement }
+
+// Instrument implements ModelPair.
+func (m *MPart) Instrument(p *bir.Program) (*bir.Program, error) {
+	q := p.Clone()
+	g := m.AR.Geom
+	for _, b := range q.Blocks {
+		var stmts []bir.Stmt
+		for _, s := range b.Stmts {
+			addr := accessAddr(s)
+			if addr != nil {
+				stmts = append(stmts, &bir.Observe{
+					Tag:  bir.TagBase,
+					Kind: "load",
+					Cond: m.AR.Pred(addr),
+					Vals: []expr.BVExpr{g.LineOf(addr)},
+				})
+				if m.WithRefinement {
+					stmts = append(stmts, &bir.Observe{
+						Tag:  bir.TagRefined,
+						Kind: "load",
+						Cond: expr.True,
+						Vals: []expr.BVExpr{g.LineOf(addr)},
+					})
+				}
+			}
+			stmts = append(stmts, s)
+		}
+		b.Stmts = stmts
+	}
+	return q, nil
+}
+
+func accessAddr(s bir.Stmt) expr.BVExpr {
+	switch v := s.(type) {
+	case *bir.Load:
+		return v.Addr
+	case *bir.Store:
+		return v.Addr
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// M_ct family — constant time vs. speculation (§4.2.2, §6.5)
+// ---------------------------------------------------------------------------
+
+// SpecKind selects how speculative observations are generated.
+type SpecKind uint8
+
+const (
+	// SpecNone disables speculative instrumentation: the pair is plain
+	// M_ct with no refinement (the unguided baseline).
+	SpecNone SpecKind = iota
+	// SpecAll observes every transient load (M_spec) as TagRefined.
+	SpecAll
+	// SpecFirstBase observes every transient load, tagging the FIRST one
+	// TagBase: the model under validation is then M_spec1 (M_ct plus the
+	// first transient load) and the refinement is M_spec.
+	SpecFirstBase
+	// SpecStraightLine first rewrites unconditional direct branches into
+	// tautologically-true conditional branches, then behaves like SpecAll:
+	// this is M_spec' (§6.5, Template D).
+	SpecStraightLine
+)
+
+// MCt is the constant-time model M_ct (program counter / branch guards plus
+// the line of every architectural memory access), optionally paired with a
+// speculative refinement.
+type MCt struct {
+	Geom Geometry
+	Spec SpecKind
+	// MaxShadowStmts bounds the speculation window of the refined model;
+	// 0 uses the spec package default.
+	MaxShadowStmts int
+	// BaseSpecLoads generalizes M_spec1 to the M_specK family: the first
+	// K transient loads of each shadow region belong to the model under
+	// validation (TagBase) and only the remainder is refinement-exclusive.
+	// SpecFirstBase with the zero value means K = 1. The automatic model
+	// repair of §8 (scamv.RepairModel) searches this family for the
+	// coarsest sound K.
+	BaseSpecLoads int
+}
+
+func (m *MCt) baseSpecLoads() int {
+	if m.Spec == SpecFirstBase && m.BaseSpecLoads == 0 {
+		return 1
+	}
+	return m.BaseSpecLoads
+}
+
+// Name implements ModelPair.
+func (m *MCt) Name() string {
+	switch m.Spec {
+	case SpecNone:
+		return "Mct"
+	case SpecAll:
+		if k := m.baseSpecLoads(); k > 0 {
+			return fmt.Sprintf("Mspec%d+Mspec", k)
+		}
+		return "Mct+Mspec"
+	case SpecFirstBase:
+		if k := m.baseSpecLoads(); k != 1 {
+			return fmt.Sprintf("Mspec%d+Mspec", k)
+		}
+		return "Mspec1+Mspec"
+	case SpecStraightLine:
+		return "Mct+Mspec'"
+	}
+	return "Mct(?)"
+}
+
+// Refined implements ModelPair.
+func (m *MCt) Refined() bool { return m.Spec != SpecNone }
+
+// Instrument implements ModelPair.
+func (m *MCt) Instrument(p *bir.Program) (*bir.Program, error) {
+	clean := p
+	if m.Spec == SpecStraightLine {
+		clean = spec.Tautologize(p)
+	}
+
+	// Architectural (M1) observations: branch guards and access lines.
+	q := clean.Clone()
+	for _, b := range q.Blocks {
+		var stmts []bir.Stmt
+		for _, s := range b.Stmts {
+			if addr := accessAddr(s); addr != nil {
+				stmts = append(stmts, &bir.Observe{
+					Tag:  bir.TagBase,
+					Kind: "load",
+					Cond: expr.True,
+					Vals: []expr.BVExpr{m.Geom.LineOf(addr)},
+				})
+			}
+			stmts = append(stmts, s)
+		}
+		if cj, ok := b.Term.(*bir.CondJmp); ok {
+			stmts = append(stmts, &bir.Observe{
+				Tag:  bir.TagBase,
+				Kind: "branch",
+				Cond: expr.True,
+				Vals: []expr.BVExpr{boolToBV(cj.Cond)},
+			})
+		}
+		b.Stmts = stmts
+	}
+	if m.Spec == SpecNone {
+		return q, nil
+	}
+
+	observeLoad := func(addr expr.BVExpr, loadIdx int) *bir.Observe {
+		tag := bir.TagRefined
+		if loadIdx < m.baseSpecLoads() {
+			tag = bir.TagBase
+		}
+		return &bir.Observe{
+			Tag:  tag,
+			Kind: "specload",
+			Cond: expr.True,
+			Vals: []expr.BVExpr{m.Geom.LineOf(addr)},
+		}
+	}
+	return spec.Inline(q, clean, spec.Options{
+		MaxShadowStmts: m.MaxShadowStmts,
+		ObserveLoad:    observeLoad,
+	})
+}

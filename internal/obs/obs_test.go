@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+	"scamv/internal/gen"
+	"scamv/internal/lifter"
+	"scamv/internal/symexec"
+)
+
+func liftTemplateA(t *testing.T) *bir.Program {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	p := gen.TemplateA{}.Generate(r, 0)
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestGeometry(t *testing.T) {
+	g := DefaultGeometry
+	a := expr.NewAssignment()
+	a.BV["a"] = 0x12345
+	if got := a.EvalBV(g.LineOf(expr.V64("a"))); got != 0x12345>>6 {
+		t.Errorf("line: %#x", got)
+	}
+	if got := a.EvalBV(g.SetOf(expr.V64("a"))); got != (0x12345>>6)&127 {
+		t.Errorf("set: %#x", got)
+	}
+	if g.SetOfConst(0x12345) != (0x12345>>6)&127 {
+		t.Error("SetOfConst mismatch")
+	}
+}
+
+func TestARRegion(t *testing.T) {
+	ar := ARRegion{Lo: 61, Hi: 127, Geom: DefaultGeometry}
+	for _, tc := range []struct {
+		set  uint64
+		want bool
+	}{{0, false}, {60, false}, {61, true}, {127, true}} {
+		addr := tc.set << 6
+		if ar.Contains(addr) != tc.want {
+			t.Errorf("Contains(set %d) != %v", tc.set, tc.want)
+		}
+		a := expr.NewAssignment()
+		a.BV["p"] = addr
+		if got := a.EvalBool(ar.Pred(expr.V64("p"))); got != tc.want {
+			t.Errorf("Pred(set %d) = %v", tc.set, got)
+		}
+	}
+	// Wrap-around: set index is mod 128, so a second "page" of sets works.
+	a := expr.NewAssignment()
+	a.BV["p"] = (128 + 61) << 6
+	if !a.EvalBool(ar.Pred(expr.V64("p"))) {
+		t.Error("set index must wrap modulo the number of sets")
+	}
+}
+
+func TestMPartInstrumentation(t *testing.T) {
+	bp := liftTemplateA(t)
+	ar := ARRegion{Lo: 61, Hi: 127, Geom: DefaultGeometry}
+	m := &MPart{AR: ar, WithRefinement: true}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Template A has two loads on the taken path: each should have one
+	// conditional base observation and one unconditional refined one.
+	var taken *symexec.Path
+	for _, p := range paths {
+		if len(p.Obs) > 2 {
+			taken = p
+		}
+	}
+	if taken == nil {
+		t.Fatal("no path with more than 2 observations")
+	}
+	if got := len(taken.BaseObs()); got != 2 {
+		t.Errorf("base obs: %d", got)
+	}
+	if got := len(taken.RefinedObs()); got != 2 {
+		t.Errorf("refined obs: %d", got)
+	}
+	for _, o := range taken.RefinedObs() {
+		if o.Cond != expr.True {
+			t.Errorf("refined observation should be unconditional, got %s", o.Cond)
+		}
+	}
+	for _, o := range taken.BaseObs() {
+		if o.Cond == expr.True {
+			t.Errorf("base M_part observation should be AR-conditional")
+		}
+	}
+}
+
+func TestMPartWithoutRefinement(t *testing.T) {
+	bp := liftTemplateA(t)
+	m := &MPart{AR: ARRegion{Lo: 61, Hi: 127, Geom: DefaultGeometry}}
+	if m.Refined() {
+		t.Error("refinement flag")
+	}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if len(p.RefinedObs()) != 0 {
+			t.Error("unrefined M_part must not add refined observations")
+		}
+	}
+}
+
+func TestMCtSpecInstrumentation(t *testing.T) {
+	bp := liftTemplateA(t)
+	m := &MCt{Geom: DefaultGeometry, Spec: SpecAll}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	// The path NOT taking the branch body must carry a refined observation
+	// of the transient body load; its address uses the shadow copy of the
+	// architectural registers.
+	var notTaken, taken *symexec.Path
+	for _, p := range paths {
+		if len(p.BaseObs()) == 2 { // load + branch (body not executed)
+			notTaken = p
+		} else {
+			taken = p
+		}
+	}
+	if notTaken == nil || taken == nil {
+		t.Fatalf("could not classify paths: %d and %d base obs",
+			len(paths[0].BaseObs()), len(paths[1].BaseObs()))
+	}
+	if got := len(notTaken.RefinedObs()); got != 1 {
+		t.Fatalf("not-taken path refined obs: %d", got)
+	}
+	// Evaluate the transient observation: it must equal the line of the
+	// body load computed from the initial state (shadow copies).
+	ro := notTaken.RefinedObs()[0]
+	if ro.Kind != "specload" {
+		t.Errorf("kind: %s", ro.Kind)
+	}
+	// The taken path has a shadow region from the empty else branch: no
+	// loads there, hence no refined observations.
+	if got := len(taken.RefinedObs()); got != 0 {
+		t.Errorf("taken path refined obs: %d", got)
+	}
+}
+
+func TestMSpec1TagsFirstLoadBase(t *testing.T) {
+	// Template C has two dependent loads in the body: under M_spec1 the
+	// first transient load is part of the model under validation.
+	r := rand.New(rand.NewSource(9))
+	p := gen.TemplateC{}.Generate(r, 0)
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &MCt{Geom: DefaultGeometry, Spec: SpecFirstBase}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range paths {
+		var specBase, specRefined int
+		for _, o := range p.Obs {
+			if o.Kind != "specload" {
+				continue
+			}
+			if o.Tag == bir.TagBase {
+				specBase++
+			} else {
+				specRefined++
+			}
+		}
+		if specBase == 1 && specRefined == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a path with one base and one refined transient load")
+	}
+}
+
+func TestMCtStraightLine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := gen.TemplateD{}.Generate(r, 0)
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &MCt{Geom: DefaultGeometry, Spec: SpecStraightLine}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tautologized branch never forks (guard is constant true), so
+	// there is exactly one path, and it carries refined observations of the
+	// straight-line loads after the jump.
+	if len(paths) != 1 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	if len(paths[0].RefinedObs()) == 0 {
+		t.Error("straight-line shadow loads should be observed")
+	}
+}
+
+func TestSupportMLine(t *testing.T) {
+	m := MLine{Geom: DefaultGeometry}
+	if m.Classes() != 128 {
+		t.Fatalf("classes: %d", m.Classes())
+	}
+	line := expr.Lshr(expr.V64("a_1"), expr.C64(6))
+	obsList := []symexec.Obs{{Kind: "load", Cond: expr.True, Vals: []expr.BVExpr{line}}}
+	c := m.Constraint(61, obsList)
+	a := expr.NewAssignment()
+	a.BV["a_1"] = 61 << 6
+	if !a.EvalBool(c) {
+		t.Error("address in set 61 should satisfy class 61")
+	}
+	a.BV["a_1"] = 62 << 6
+	if a.EvalBool(c) {
+		t.Error("address in set 62 should not satisfy class 61")
+	}
+	// No loads: constraint trivially true.
+	if m.Constraint(5, nil) != expr.True {
+		t.Error("no-load constraint should be true")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	cases := []struct {
+		m    ModelPair
+		want string
+	}{
+		{&MPart{}, "Mpart"},
+		{&MPart{WithRefinement: true}, "Mpart+Mpart'"},
+		{&MCt{}, "Mct"},
+		{&MCt{Spec: SpecAll}, "Mct+Mspec"},
+		{&MCt{Spec: SpecFirstBase}, "Mspec1+Mspec"},
+		{&MCt{Spec: SpecStraightLine}, "Mct+Mspec'"},
+	}
+	for _, c := range cases {
+		if c.m.Name() != c.want {
+			t.Errorf("name %q != %q", c.m.Name(), c.want)
+		}
+	}
+}
+
+func TestMTimeInstrumentation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := gen.TemplateMul{}.Generate(r, 0)
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &MTime{Geom: DefaultGeometry, WithRefinement: true}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := paths[0]
+	if len(path.BaseObs()) == 0 {
+		t.Error("the load must be observed by M_ct")
+	}
+	ro := path.RefinedObs()
+	if len(ro) == 0 {
+		t.Fatal("multiply size classes must be observed by the refinement")
+	}
+	for _, o := range ro {
+		if o.Kind != "mulsize" {
+			t.Errorf("kind: %s", o.Kind)
+		}
+		if o.Vals[0].Width() != 2 {
+			t.Errorf("size class width: %d", o.Vals[0].Width())
+		}
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	for _, tc := range []struct {
+		v    uint64
+		want uint64
+	}{{0, 0}, {1<<16 - 1, 0}, {1 << 16, 1}, {1<<32 - 1, 1}, {1 << 32, 2}, {1 << 48, 3}, {^uint64(0), 3}} {
+		a := expr.NewAssignment()
+		a.BV["v"] = tc.v
+		if got := a.EvalBV(SizeClass(expr.V64("v"))); got != tc.want {
+			t.Errorf("SizeClass(%#x) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestMPCModelInstrumentation(t *testing.T) {
+	bp := liftTemplateA(t)
+	m := &MPCModel{Geom: DefaultGeometry, WithRefinement: true}
+	q, err := m.Instrument(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		for _, o := range p.BaseObs() {
+			if o.Kind != "branch" {
+				t.Errorf("PC model must only observe branches, got %s", o.Kind)
+			}
+		}
+		if len(p.RefinedObs()) == 0 {
+			t.Error("refinement must observe the loads")
+		}
+	}
+}
+
+func TestMLineCoarse(t *testing.T) {
+	m := MLineCoarse{Geom: DefaultGeometry, Bits: 2}
+	if m.Classes() != 4 {
+		t.Fatalf("classes: %d", m.Classes())
+	}
+	line := expr.Lshr(expr.V64("a_1"), expr.C64(6))
+	obsList := []symexec.Obs{{Kind: "load", Cond: expr.True, Vals: []expr.BVExpr{line}}}
+	// Class 3 = top quarter of the 128 sets (96..127).
+	c := m.Constraint(3, obsList)
+	a := expr.NewAssignment()
+	a.BV["a_1"] = 100 << 6 // set 100
+	if !a.EvalBool(c) {
+		t.Error("set 100 belongs to the top quarter")
+	}
+	a.BV["a_1"] = 50 << 6
+	if a.EvalBool(c) {
+		t.Error("set 50 does not belong to the top quarter")
+	}
+	// Degenerate Bits values fall back to a sane default.
+	if (MLineCoarse{Geom: DefaultGeometry}).Classes() != 4 {
+		t.Error("default bits")
+	}
+}

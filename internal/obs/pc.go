@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+)
+
+// MPCModel is the program-counter security model of Molnar et al. (the
+// paper's [36], discussed in §7): an attacker observes only the victim's
+// control flow. It abstracts timing channels that depend on which branch
+// executes, but says nothing about data caches. Pairing it with a refined
+// model that also observes memory-access lines (i.e. M_ct as M2) lets
+// Scam-V demonstrate that the PC model is unsound on any machine with a
+// data cache: states with identical control flow but different load
+// addresses are distinguishable.
+type MPCModel struct {
+	Geom Geometry
+	// WithRefinement adds the cache-line observations of M_ct as the
+	// refined model.
+	WithRefinement bool
+}
+
+// Name implements ModelPair.
+func (m *MPCModel) Name() string {
+	if m.WithRefinement {
+		return "Mpcmodel+Mct"
+	}
+	return "Mpcmodel"
+}
+
+// Refined implements ModelPair.
+func (m *MPCModel) Refined() bool { return m.WithRefinement }
+
+// Instrument implements ModelPair: branch guards are TagBase (the model
+// under validation), access lines TagRefined (the refinement).
+func (m *MPCModel) Instrument(p *bir.Program) (*bir.Program, error) {
+	q := p.Clone()
+	for _, b := range q.Blocks {
+		var stmts []bir.Stmt
+		for _, s := range b.Stmts {
+			if addr := accessAddr(s); addr != nil && m.WithRefinement {
+				stmts = append(stmts, &bir.Observe{
+					Tag:  bir.TagRefined,
+					Kind: "load",
+					Cond: expr.True,
+					Vals: []expr.BVExpr{m.Geom.LineOf(addr)},
+				})
+			}
+			stmts = append(stmts, s)
+		}
+		if cj, ok := b.Term.(*bir.CondJmp); ok {
+			stmts = append(stmts, &bir.Observe{
+				Tag:  bir.TagBase,
+				Kind: "branch",
+				Cond: expr.True,
+				Vals: []expr.BVExpr{boolToBV(cj.Cond)},
+			})
+		}
+		b.Stmts = stmts
+	}
+	return q, nil
+}
+
+var _ ModelPair = (*MPCModel)(nil)

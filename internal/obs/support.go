@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+
+	"scamv/internal/expr"
+	"scamv/internal/symexec"
+)
+
+// Support is a supporting observational model used for test coverage
+// (paper §4.1): it induces a coarse, enumerable partition of the input
+// space, and test cases are drawn from the classes round-robin.
+//
+// Path coverage (M_pc, §4.1.1) is built into the generator itself — the
+// relation is split per path pair and pairs are explored round-robin — so
+// MPc contributes no extra constraint.
+type Support interface {
+	Name() string
+	// Classes returns the number of enumerable coverage classes.
+	Classes() int
+	// Constraint returns the class-k membership constraint over the
+	// observations of the first state's path (already renamed to the _1
+	// namespace).
+	Constraint(k int, pathObs []symexec.Obs) expr.BoolExpr
+}
+
+// MPc is the path-enumeration support model M_pc: its classes are the path
+// pairs, which the generator already enumerates round-robin, so it
+// contributes a single trivial class.
+type MPc struct{}
+
+// Name implements Support.
+func (MPc) Name() string { return "Mpc" }
+
+// Classes implements Support.
+func (MPc) Classes() int { return 1 }
+
+// Constraint implements Support.
+func (MPc) Constraint(int, []symexec.Obs) expr.BoolExpr { return expr.True }
+
+// MLine is the cache-line enumeration support model M_line (§4.1.2): it
+// observes the cache set index of memory accesses, partitioning states by
+// the set their first access falls into. Enumerating the classes guarantees
+// that tests cover every cache set — including the sets at the boundary of
+// a cache partition, which is where prefetching leaks arise.
+type MLine struct {
+	Geom Geometry
+}
+
+// Name implements Support.
+func (m MLine) Name() string { return "Mline" }
+
+// Classes implements Support.
+func (m MLine) Classes() int { return 1 << m.Geom.SetBits }
+
+// Constraint implements Support. Class k requires the first observed
+// memory access of s1 to fall into cache set k.
+func (m MLine) Constraint(k int, pathObs []symexec.Obs) expr.BoolExpr {
+	for _, o := range pathObs {
+		if o.Kind != "load" || len(o.Vals) == 0 {
+			continue
+		}
+		// Observation values for cache channels are line identifiers
+		// (addr >> LineBits); the set index is their low SetBits bits.
+		line := o.Vals[0]
+		if line.Width() < m.Geom.SetBits {
+			continue
+		}
+		set := expr.NewExtract(m.Geom.SetBits-1, 0, line)
+		return expr.Eq(set, expr.NewConst(uint64(k), m.Geom.SetBits))
+	}
+	return expr.True
+}
+
+// MLineCoarse is the coarser variant of M_line the paper suggests for
+// programs with many memory accesses (§4.2.1: "one can use a coarser
+// supporting model, which observes only a few bits of the cache set
+// index"): classes are identified by the top Bits bits of the set index.
+type MLineCoarse struct {
+	Geom Geometry
+	// Bits is the number of high set-index bits observed (1..SetBits).
+	Bits uint
+}
+
+// Name implements Support.
+func (m MLineCoarse) Name() string { return "Mline-coarse" }
+
+// Classes implements Support.
+func (m MLineCoarse) Classes() int { return 1 << m.bits() }
+
+func (m MLineCoarse) bits() uint {
+	if m.Bits == 0 || m.Bits > m.Geom.SetBits {
+		return 2
+	}
+	return m.Bits
+}
+
+// Constraint implements Support: class k pins the high bits of the first
+// access's set index.
+func (m MLineCoarse) Constraint(k int, pathObs []symexec.Obs) expr.BoolExpr {
+	b := m.bits()
+	for _, o := range pathObs {
+		if o.Kind != "load" || len(o.Vals) == 0 {
+			continue
+		}
+		line := o.Vals[0]
+		if line.Width() < m.Geom.SetBits {
+			continue
+		}
+		top := expr.NewExtract(m.Geom.SetBits-1, m.Geom.SetBits-b, line)
+		return expr.Eq(top, expr.NewConst(uint64(k), b))
+	}
+	return expr.True
+}
+
+var (
+	_ Support = MPc{}
+	_ Support = MLine{}
+	_ Support = MLineCoarse{}
+)
+
+// SupportName renders a support model list for reports ("Mpc & Mline").
+func SupportName(s Support) string {
+	if s == nil {
+		return "Mpc"
+	}
+	if _, ok := s.(MPc); ok {
+		return "Mpc"
+	}
+	return fmt.Sprintf("Mpc & %s", s.Name())
+}

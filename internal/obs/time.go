@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+)
+
+// This file implements the variable-time arithmetic channel used in §3 to
+// illustrate observation refinement: on a core with an early-terminating
+// multiplier, execution time depends on the magnitude of multiply operands,
+// which the constant-time model M_ct does not observe. The refined model
+// M_time additionally observes the size class of every multiplier operand,
+// steering test generation toward pairs of states whose multiplies take
+// different time (the paper's classes C_{v,v',2^16·i}).
+
+// SizeClass returns the 2-bit early-termination size class of a 64-bit
+// value: 0 for < 2^16, 1 for < 2^32, 2 for < 2^48, 3 otherwise. It mirrors
+// micro.MulExtraCycles.
+func SizeClass(e expr.BVExpr) expr.BVExpr {
+	cls := func(v uint64) expr.BVExpr { return expr.NewConst(v, 2) }
+	return expr.NewIte(expr.Ult(e, expr.C64(1<<16)), cls(0),
+		expr.NewIte(expr.Ult(e, expr.C64(1<<32)), cls(1),
+			expr.NewIte(expr.Ult(e, expr.C64(1<<48)), cls(2), cls(3))))
+}
+
+// MTime couples M_ct (model under validation) with a refinement that
+// observes the size class of every multiply's second operand — the operand
+// that drives the early-terminating multiplier's latency.
+type MTime struct {
+	Geom           Geometry
+	WithRefinement bool
+}
+
+// Name implements ModelPair.
+func (m *MTime) Name() string {
+	if m.WithRefinement {
+		return "Mct+Mtime"
+	}
+	return "Mct"
+}
+
+// Refined implements ModelPair.
+func (m *MTime) Refined() bool { return m.WithRefinement }
+
+// Instrument implements ModelPair: the architectural M_ct observations plus
+// a refined size-class observation per multiply.
+func (m *MTime) Instrument(p *bir.Program) (*bir.Program, error) {
+	q := p.Clone()
+	for _, b := range q.Blocks {
+		var stmts []bir.Stmt
+		for _, s := range b.Stmts {
+			if addr := accessAddr(s); addr != nil {
+				stmts = append(stmts, &bir.Observe{
+					Tag:  bir.TagBase,
+					Kind: "load",
+					Cond: expr.True,
+					Vals: []expr.BVExpr{m.Geom.LineOf(addr)},
+				})
+			}
+			if m.WithRefinement {
+				if a, ok := s.(*bir.Assign); ok {
+					for _, operand := range mulOperands(a.Rhs) {
+						stmts = append(stmts, &bir.Observe{
+							Tag:  bir.TagRefined,
+							Kind: "mulsize",
+							Cond: expr.True,
+							Vals: []expr.BVExpr{SizeClass(operand)},
+						})
+					}
+				}
+			}
+			stmts = append(stmts, s)
+		}
+		if cj, ok := b.Term.(*bir.CondJmp); ok {
+			stmts = append(stmts, &bir.Observe{
+				Tag:  bir.TagBase,
+				Kind: "branch",
+				Cond: expr.True,
+				Vals: []expr.BVExpr{boolToBV(cj.Cond)},
+			})
+		}
+		b.Stmts = stmts
+	}
+	return q, nil
+}
+
+// mulOperands collects the latency-relevant (second) operands of every
+// multiplication in an expression.
+func mulOperands(e expr.Expr) []expr.BVExpr {
+	var out []expr.BVExpr
+	var walk func(x expr.Expr)
+	walk = func(x expr.Expr) {
+		switch v := x.(type) {
+		case *expr.Bin:
+			if v.Op == expr.OpMul {
+				out = append(out, v.Y)
+			}
+			walk(v.X)
+			walk(v.Y)
+		case *expr.Un:
+			walk(v.X)
+		case *expr.Extract:
+			walk(v.X)
+		case *expr.Ext:
+			walk(v.X)
+		case *expr.Ite:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *expr.Cmp:
+			walk(v.X)
+			walk(v.Y)
+		case *expr.Nary:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *expr.NotBExpr:
+			walk(v.X)
+		}
+	}
+	walk(e)
+	return out
+}
+
+var _ ModelPair = (*MTime)(nil)

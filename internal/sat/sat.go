@@ -1,0 +1,568 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation, first-UIP
+// conflict analysis, VSIDS branching with phase saving, and Luby restarts.
+//
+// It is the backend of the bitvector SMT solver in internal/smt, which this
+// repository uses in place of Z3 for synthesizing test-case states from
+// observational-equivalence relations.
+//
+// The default decision phase is false (assign 0), which makes models of
+// underconstrained formulas "minimal" in the same way Z3's default models
+// are: unconstrained bitvector variables come out as zero. This property is
+// load-bearing for the reproduction — it is what makes *unguided* test-case
+// search generate nearly identical states (see DESIGN.md §1).
+package sat
+
+import "math/rand"
+
+// Lit is a literal: variable index shifted left once, low bit set when the
+// literal is negated. Variables are dense integers starting at 0.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New.
+type Solver struct {
+	clauses []*clause // problem + learnt clauses
+	watches [][]*clause
+
+	assigns  []int8 // 0 = unassigned, 1 = true, -1 = false
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+	seen     []bool
+
+	phase        []int8 // saved phase: 1 true, -1 false, 0 use default
+	DefaultPhase bool   // initial polarity for decisions (false = assign 0)
+
+	// RandomPhaseProb is the probability that a decision uses a random
+	// polarity instead of the saved/default phase. Non-zero values
+	// diversify models during enumeration.
+	RandomPhaseProb float64
+	// RandomVarProb is the probability that a decision picks a uniformly
+	// random unassigned variable instead of the VSIDS choice.
+	RandomVarProb float64
+	rng           *rand.Rand
+
+	unsat bool // top-level conflict found
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64
+
+	// MaxConflicts, when positive, aborts Solve with Unknown after that
+	// many conflicts.
+	MaxConflicts int64
+}
+
+// New returns an empty solver seeded for reproducible randomized decisions.
+func New(seed int64) *Solver {
+	s := &Solver{varInc: 1, rng: rand.New(rand.NewSource(seed))}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) litValue(l Lit) int8 {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a clause to the solver. It returns false if the clause
+// makes the formula trivially unsatisfiable. Clauses may be added between
+// Solve calls (e.g. blocking clauses for model enumeration).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	// Normalize: sort-free dedup, drop false lits, detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l.Var() >= s.NumVars() {
+			panic("sat: literal references unallocated variable")
+		}
+		switch s.litValue(l) {
+		case 1:
+			return true // satisfied at level 0
+		case -1:
+			continue // falsified at level 0: drop
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = -1
+	} else {
+		s.assigns[v] = 1
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal (p.Neg()) is lits[1].
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is already true the clause is satisfied.
+			if s.litValue(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.litValue(c.lits[0]) == -1 {
+				// Conflict: keep the remaining watches and bail.
+				kept = append(kept, ws[i+1:]...)
+				confl = c
+				break
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt clause
+// (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	var cleanup []int
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal of the current level on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Compute backtrack level = max level among learnt[1:].
+	btLevel := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayActivities() { s.varInc /= 0.95 }
+
+// BoostVar raises a variable's initial activity so it is decided early.
+// The bit-blaster boosts the bits of named input variables: together with
+// the zero default phase, this biases models of underconstrained formulas
+// toward zero inputs, mimicking Z3's default models.
+func (s *Solver) BoostVar(v int, amount float64) {
+	s.activity[v] += s.varInc * amount
+	s.heap.update(v)
+}
+
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= int(s.trailLim[lvl]); i-- {
+		v := s.trail[i].Var()
+		if s.assigns[v] == 1 {
+			s.phase[v] = 1
+		} else {
+			s.phase[v] = -1
+		}
+		s.assigns[v] = 0
+		s.reason[v] = nil
+		s.heap.insert(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	if s.RandomVarProb > 0 && s.rng.Float64() < s.RandomVarProb {
+		// Try a few random picks before falling back to VSIDS.
+		for try := 0; try < 8; try++ {
+			v := s.rng.Intn(s.NumVars())
+			if s.assigns[v] == 0 {
+				return v
+			}
+		}
+	}
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+func (s *Solver) pickPhase(v int) bool {
+	if s.RandomPhaseProb > 0 && s.rng.Float64() < s.RandomPhaseProb {
+		return s.rng.Intn(2) == 0
+	}
+	switch s.phase[v] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return s.DefaultPhase
+}
+
+// luby computes the Luby restart sequence value for index x (0-based):
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
+}
+
+// Solve searches for a satisfying assignment. It returns Sat, Unsat, or
+// Unknown (only when MaxConflicts is exceeded).
+func (s *Solver) Solve() Status {
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return Unsat
+	}
+	restart := int64(0)
+	budget := luby(restart) * 100
+	conflictsHere := int64(0)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.clauses = append(s.clauses, c)
+				s.Learnt++
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if conflictsHere >= budget {
+				// Restart.
+				conflictsHere = 0
+				restart++
+				budget = luby(restart) * 100
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			return Sat // all variables assigned
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(MkLit(v, !s.pickPhase(v)), nil)
+	}
+}
+
+// Value returns the value of variable v in the last model (false when
+// unassigned, which cannot happen after Sat).
+func (s *Solver) Value(v int) bool { return s.assigns[v] == 1 }
+
+// Model returns a copy of the current satisfying assignment.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.assigns[v] == 1
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Indexed binary max-heap over variable activities (MiniSat order heap).
+// ---------------------------------------------------------------------------
+
+type varHeap struct {
+	act  *[]float64
+	heap []int
+	pos  []int // pos[v] = index in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap { return &varHeap{act: act} }
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) contains(v int) bool { return v < len(h.pos) && h.pos[v] >= 0 }
+
+func (h *varHeap) insert(v int) {
+	for v >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,414 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scamv/internal/expr"
+	"scamv/internal/sat"
+)
+
+func solveOne(t *testing.T, fs ...expr.BoolExpr) *expr.Assignment {
+	t.Helper()
+	s := New(Options{Seed: 1})
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if st := s.Check(); st != sat.Sat {
+		t.Fatalf("expected sat, got %v", st)
+	}
+	m := s.Model()
+	for _, f := range fs {
+		if !m.EvalBool(f) {
+			t.Fatalf("model does not satisfy %s", f)
+		}
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	x, y := expr.V64("x"), expr.V64("y")
+	m := solveOne(t,
+		expr.Eq(expr.Add(x, y), expr.C64(100)),
+		expr.Eq(expr.Sub(x, y), expr.C64(2)),
+	)
+	if m.BV["x"]+m.BV["y"] != 100 || m.BV["x"]-m.BV["y"] != 2 {
+		t.Fatalf("got x=%d y=%d", m.BV["x"], m.BV["y"])
+	}
+}
+
+func TestUnsat(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.V64("x")
+	s.Assert(expr.Ult(x, expr.C64(5)))
+	s.Assert(expr.Ult(expr.C64(10), x))
+	if st := s.Check(); st != sat.Unsat {
+		t.Fatalf("expected unsat, got %v", st)
+	}
+}
+
+func TestSignedVsUnsigned(t *testing.T) {
+	x := expr.V64("x")
+	m := solveOne(t,
+		expr.Slt(x, expr.C64(0)),     // x negative
+		expr.Ult(expr.C64(1<<40), x), // but huge unsigned
+		expr.Eq(expr.And(x, expr.C64(0xff)), expr.C64(0x7f)),
+	)
+	if int64(m.BV["x"]) >= 0 {
+		t.Fatalf("x should be negative, got %#x", m.BV["x"])
+	}
+	if m.BV["x"]&0xff != 0x7f {
+		t.Fatalf("byte constraint violated: %#x", m.BV["x"])
+	}
+}
+
+func TestShifts(t *testing.T) {
+	x := expr.V64("x")
+	sh := expr.V64("sh")
+	m := solveOne(t,
+		expr.Eq(expr.Shl(x, sh), expr.C64(0x100)),
+		expr.Eq(sh, expr.C64(4)),
+	)
+	if m.BV["x"]<<4 != 0x100 {
+		t.Fatalf("shift model wrong: x=%#x", m.BV["x"])
+	}
+}
+
+func TestNarrowWidth(t *testing.T) {
+	a := expr.NewVar("a", 8)
+	m := solveOne(t,
+		expr.Eq(expr.Add(a, expr.NewConst(200, 8)), expr.NewConst(10, 8)),
+	)
+	if (m.BV["a"]+200)&0xff != 10 {
+		t.Fatalf("8-bit wraparound model wrong: a=%d", m.BV["a"])
+	}
+}
+
+func TestMemoryBasic(t *testing.T) {
+	mem := expr.NewMemVar("mem")
+	p := expr.V64("p")
+	m := solveOne(t,
+		expr.Eq(expr.NewRead(mem, p), expr.C64(77)),
+		expr.Eq(p, expr.C64(0x4000)),
+	)
+	mm := m.Mem["mem"]
+	if mm == nil || mm.Get(0x4000) != 77 {
+		t.Fatalf("memory model wrong: %v", mm)
+	}
+}
+
+func TestMemoryAckermann(t *testing.T) {
+	// Two reads at addresses forced equal must yield equal values.
+	mem := expr.NewMemVar("mem")
+	p, q := expr.V64("p"), expr.V64("q")
+	s := New(Options{Seed: 1})
+	s.Assert(expr.Eq(p, q))
+	s.Assert(expr.Eq(expr.NewRead(mem, p), expr.C64(1)))
+	s.Assert(expr.Eq(expr.NewRead(mem, q), expr.C64(2)))
+	if st := s.Check(); st != sat.Unsat {
+		t.Fatalf("functional consistency violated: got %v", st)
+	}
+}
+
+func TestMemoryDistinctReads(t *testing.T) {
+	mem := expr.NewMemVar("mem")
+	p, q := expr.V64("p"), expr.V64("q")
+	m := solveOne(t,
+		expr.Neq(p, q),
+		expr.Eq(expr.NewRead(mem, p), expr.C64(1)),
+		expr.Eq(expr.NewRead(mem, q), expr.C64(2)),
+	)
+	mm := m.Mem["mem"]
+	if mm.Get(m.BV["p"]) != 1 || mm.Get(m.BV["q"]) != 2 {
+		t.Fatalf("memory reconstruction wrong: p=%#x q=%#x mem=%v",
+			m.BV["p"], m.BV["q"], mm.Data)
+	}
+}
+
+func TestReadOverWrite(t *testing.T) {
+	mem := expr.NewMemVar("mem")
+	p := expr.V64("p")
+	st := expr.NewStore(mem, expr.C64(0x100), expr.C64(55))
+	// Read at p of mem[0x100 := 55]: if p = 0x100 result must be 55.
+	s := New(Options{Seed: 1})
+	s.Assert(expr.Eq(p, expr.C64(0x100)))
+	s.Assert(expr.Neq(expr.NewRead(st, p), expr.C64(55)))
+	if got := s.Check(); got != sat.Unsat {
+		t.Fatalf("read-over-write should force 55, got %v", got)
+	}
+}
+
+func TestNestedRead(t *testing.T) {
+	// mem[mem[x]] = 9 with mem[x] = 0x2000.
+	mem := expr.NewMemVar("mem")
+	x := expr.V64("x")
+	inner := expr.NewRead(mem, x)
+	outer := expr.NewRead(mem, inner)
+	m := solveOne(t,
+		expr.Eq(x, expr.C64(0x1000)),
+		expr.Eq(inner, expr.C64(0x2000)),
+		expr.Eq(outer, expr.C64(9)),
+	)
+	mm := m.Mem["mem"]
+	if mm.Get(0x1000) != 0x2000 || mm.Get(0x2000) != 9 {
+		t.Fatalf("nested read memory wrong: %v", mm.Data)
+	}
+}
+
+func TestDefaultModelIsZero(t *testing.T) {
+	// Z3-emulation: unconstrained parts of the model default to zero.
+	x, y := expr.V64("x"), expr.V64("y")
+	m := solveOne(t, expr.Eq(x, x), expr.Ule(y, expr.C64(0xffff)))
+	if m.BV["y"] != 0 {
+		t.Fatalf("default-phase model should zero y, got %#x", m.BV["y"])
+	}
+}
+
+func TestEnumerationBlocking(t *testing.T) {
+	x := expr.NewVar("x", 4)
+	s := New(Options{Seed: 1})
+	s.Assert(expr.Ult(x, expr.NewConst(5, 4)))
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		st := s.Check()
+		if st != sat.Sat {
+			break
+		}
+		m := s.Model()
+		v := m.BV["x"]
+		if seen[v] {
+			t.Fatalf("value %d repeated", v)
+		}
+		if v >= 5 {
+			t.Fatalf("value %d out of range", v)
+		}
+		seen[v] = true
+		if !s.BlockVars([]string{"x"}) {
+			break
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected 5 models, got %d", len(seen))
+	}
+}
+
+func TestIteBlasting(t *testing.T) {
+	c := expr.V64("c")
+	x := expr.NewIte(expr.Eq(c, expr.C64(0)), expr.C64(10), expr.C64(20))
+	m := solveOne(t,
+		expr.Eq(x, expr.C64(20)),
+	)
+	if m.BV["c"] == 0 {
+		t.Fatal("c must be nonzero to select 20")
+	}
+}
+
+func TestQuickSolverSoundness(t *testing.T) {
+	// Property: for random linear constraints that are satisfiable by
+	// construction, the solver finds a model and the model checks out.
+	rng := rand.New(rand.NewSource(3))
+	f := func(a, b uint64) bool {
+		x, y := expr.V64("x"), expr.V64("y")
+		target := a + b
+		s := New(Options{Seed: int64(a ^ b)})
+		s.Assert(expr.Eq(expr.Add(x, y), expr.C64(target)))
+		s.Assert(expr.Eq(x, expr.C64(a)))
+		if s.Check() != sat.Sat {
+			return false
+		}
+		m := s.Model()
+		return m.BV["x"] == a && m.BV["x"]+m.BV["y"] == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulBlasting(t *testing.T) {
+	x := expr.NewVar("x", 16)
+	m := solveOne(t,
+		expr.Eq(expr.Mul(x, expr.NewConst(3, 16)), expr.NewConst(21, 16)),
+		expr.Ult(x, expr.NewConst(100, 16)),
+	)
+	if m.BV["x"]*3%(1<<16) != 21 {
+		t.Fatalf("mul model wrong: x=%d", m.BV["x"])
+	}
+}
+
+func TestAshrBlasting(t *testing.T) {
+	x := expr.NewVar("x", 8)
+	m := solveOne(t,
+		expr.Eq(expr.Ashr(x, expr.NewConst(4, 8)), expr.NewConst(0xff, 8)),
+		expr.Eq(expr.And(x, expr.NewConst(0x0f, 8)), expr.NewConst(0x05, 8)),
+	)
+	v := m.BV["x"]
+	if v>>7&1 != 1 || v&0x0f != 5 {
+		t.Fatalf("ashr model wrong: %#x", v)
+	}
+}
+
+func TestUnknownUnderConflictBudget(t *testing.T) {
+	// A hard multiplication inversion with a tiny conflict budget returns
+	// Unknown rather than hanging.
+	s := New(Options{Seed: 1, MaxConflicts: 5})
+	x, y := expr.V64("x"), expr.V64("y")
+	s.Assert(expr.Eq(expr.Mul(x, y), expr.C64(0xdeadbeefcafebabe)))
+	s.Assert(expr.Ult(expr.C64(1), x))
+	s.Assert(expr.Ult(expr.C64(1), y))
+	if got := s.Check(); got != sat.Unknown {
+		t.Fatalf("expected unknown, got %v", got)
+	}
+}
+
+func TestVarNamesAndReadVars(t *testing.T) {
+	s := New(Options{Seed: 1})
+	mem := expr.NewMemVar("MEM")
+	s.Assert(expr.Eq(expr.NewRead(mem, expr.V64("p")), expr.C64(1)))
+	s.Assert(expr.Eq(expr.NewRead(mem, expr.V64("q")), expr.C64(2)))
+	names := s.VarNames()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"p", "q", "$rd_MEM_1", "$rd_MEM_2"} {
+		if !found[want] {
+			t.Errorf("missing %s in %v", want, names)
+		}
+	}
+	if got := s.ReadVarNames("MEM"); len(got) != 2 {
+		t.Errorf("read vars: %v", got)
+	}
+}
+
+func TestBlockVarsNothingEncoded(t *testing.T) {
+	s := New(Options{Seed: 1})
+	s.Assert(expr.True)
+	if s.Check() != sat.Sat {
+		t.Fatal("trivially sat")
+	}
+	if s.BlockVars([]string{"nonexistent"}) {
+		t.Error("blocking unencoded variables should report false")
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.V64("x")
+	s.Assert(expr.Eq(expr.Add(x, expr.C64(1)), expr.C64(100)))
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	_, decisions, props := s.Stats()
+	if decisions == 0 && props == 0 {
+		t.Error("no search activity recorded")
+	}
+}
+
+func TestSharedReadAcrossAssertions(t *testing.T) {
+	// The same Read node asserted twice must map to one Ackermann variable.
+	mem := expr.NewMemVar("MEM")
+	rd := expr.NewRead(mem, expr.V64("p"))
+	s := New(Options{Seed: 1})
+	s.Assert(expr.Ule(rd, expr.C64(100)))
+	s.Assert(expr.Ule(expr.C64(10), rd))
+	if got := len(s.ReadVarNames("MEM")); got != 1 {
+		t.Errorf("read deduplication failed: %d vars", got)
+	}
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	v := m.Mem["MEM"].Get(m.BV["p"])
+	if v < 10 || v > 100 {
+		t.Errorf("read value out of range: %d", v)
+	}
+}
+
+// TestExhaustiveSmallWidth checks solver verdicts against exhaustive
+// enumeration: for several fixed one-variable formulas over 8-bit values,
+// the solver must agree with brute force about satisfiability, and its
+// model must be one of the brute-force solutions.
+func TestExhaustiveSmallWidth(t *testing.T) {
+	x := expr.NewVar("x", 8)
+	c := func(v uint64) expr.BVExpr { return expr.NewConst(v, 8) }
+	formulas := []struct {
+		name string
+		f    expr.BoolExpr
+		ok   func(v uint64) bool
+	}{
+		{"linear", expr.Eq(expr.Add(expr.Mul(x, c(3)), c(7)), c(52)),
+			func(v uint64) bool { return (v*3+7)&0xff == 52 }},
+		{"masked", expr.AndB(expr.Eq(expr.And(x, c(0xf0)), c(0x30)), expr.Ult(x, c(0x38))),
+			func(v uint64) bool { return v&0xf0 == 0x30 && v < 0x38 }},
+		{"signed", expr.AndB(expr.Slt(x, c(0)), expr.Eq(expr.Lshr(x, c(5)), c(7))),
+			func(v uint64) bool { return int8(v) < 0 && v>>5 == 7 }},
+		{"xor-shift", expr.Eq(expr.Xor(x, expr.Shl(x, c(1))), c(0x0c)),
+			func(v uint64) bool { return (v^(v<<1))&0xff == 0x0c }},
+		{"unsat", expr.AndB(expr.Ult(x, c(4)), expr.Ult(c(9), x)),
+			func(v uint64) bool { return false }},
+	}
+	for _, tc := range formulas {
+		want := false
+		for v := uint64(0); v < 256; v++ {
+			if tc.ok(v) {
+				want = true
+				break
+			}
+		}
+		s := New(Options{Seed: 5})
+		s.Assert(tc.f)
+		got := s.Check()
+		if want && got != sat.Sat {
+			t.Errorf("%s: expected sat, got %v", tc.name, got)
+			continue
+		}
+		if !want && got != sat.Unsat {
+			t.Errorf("%s: expected unsat, got %v", tc.name, got)
+			continue
+		}
+		if want {
+			v := s.Model().BV["x"]
+			if !tc.ok(v) {
+				t.Errorf("%s: model x=%#x is not a solution", tc.name, v)
+			}
+		}
+	}
+}
+
+// TestExhaustiveModelEnumeration enumerates ALL models of a small formula
+// and compares the solution set against brute force.
+func TestExhaustiveModelEnumeration(t *testing.T) {
+	x := expr.NewVar("x", 6)
+	f := expr.Eq(expr.And(x, expr.NewConst(0b101, 6)), expr.NewConst(0b101, 6))
+	s := New(Options{Seed: 2})
+	s.Assert(f)
+	got := map[uint64]bool{}
+	for s.Check() == sat.Sat {
+		v := s.Model().BV["x"]
+		if got[v] {
+			t.Fatalf("model %#x repeated", v)
+		}
+		got[v] = true
+		if len(got) > 64 {
+			t.Fatal("runaway enumeration")
+		}
+		if !s.BlockVars([]string{"x"}) {
+			break
+		}
+	}
+	want := map[uint64]bool{}
+	for v := uint64(0); v < 64; v++ {
+		if v&0b101 == 0b101 {
+			want[v] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("found %d models, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if !got[v] {
+			t.Errorf("missing model %#x", v)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package spec implements the speculative-execution instrumentation of the
+// paper's §4.2.2 and §5.1: for every conditional branch, the statements of
+// the branch NOT taken are inlined ("shadow statements") in front of the
+// branch that IS taken, operating on a shadow copy of the registers (names
+// prefixed with '#'). Shadow loads carry observation statements so that the
+// refined models M_spec / M_spec1 can constrain transient memory accesses.
+//
+// It also provides the M_spec' transform (paper §6.5): rewriting
+// unconditional direct branches into tautologically-true conditional
+// branches, so the same inlining covers straight-line speculation.
+package spec
+
+import (
+	"fmt"
+
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+)
+
+// ShadowPrefix marks shadow (transient) registers.
+const ShadowPrefix = "#"
+
+// Options configures the inlining.
+type Options struct {
+	// MaxShadowStmts bounds the number of statements speculated past a
+	// branch (the speculation window of the modelled core). Default 16.
+	MaxShadowStmts int
+	// ObserveLoad builds the observation statement for the i-th (0-based)
+	// shadow load of a shadow region, given its (shadow-renamed) address
+	// expression. Returning nil skips the observation. This is where the
+	// M_spec vs. M_spec1 distinction lives: M_spec tags every transient
+	// load, M_spec1 tags the first TagBase and the rest TagRefined.
+	ObserveLoad func(addr expr.BVExpr, loadIdx int) *bir.Observe
+}
+
+func shadow(name string) string { return ShadowPrefix + name }
+
+// Tautologize returns a copy of p in which every unconditional jump that
+// skips over code (i.e. whose target is not the next block in layout order)
+// is replaced by a conditional branch with constant-true guard. Combined
+// with Inline this yields the M_spec' model for straight-line speculation.
+func Tautologize(p *bir.Program) *bir.Program {
+	q := p.Clone()
+	for i, b := range q.Blocks {
+		j, ok := b.Term.(*bir.Jmp)
+		if !ok {
+			continue
+		}
+		next := ""
+		if i+1 < len(q.Blocks) {
+			next = q.Blocks[i+1].Label
+		}
+		if j.Target == next {
+			continue // plain fall-through, nothing is skipped
+		}
+		b.Term = &bir.CondJmp{Cond: expr.True, True: j.Target, False: next}
+	}
+	return q
+}
+
+// Inline adds shadow trampolines to instrumented. The shadow statement
+// sequences are linearized from clean (the uninstrumented program), so that
+// architectural observations already present in instrumented are not
+// duplicated inside shadow regions. Blocks of instrumented and clean must
+// correspond by label.
+func Inline(instrumented, clean *bir.Program, opts Options) (*bir.Program, error) {
+	if opts.MaxShadowStmts <= 0 {
+		opts.MaxShadowStmts = 16
+	}
+	out := instrumented.Clone()
+	nspec := 0
+	var newBlocks []*bir.Block
+	for _, b := range out.Blocks {
+		cj, ok := b.Term.(*bir.CondJmp)
+		if !ok {
+			continue
+		}
+		// Shadow of the false side runs when the branch is actually taken,
+		// and vice versa.
+		shadowOfFalse, err := shadowStmts(clean, cj.False, opts)
+		if err != nil {
+			return nil, err
+		}
+		shadowOfTrue, err := shadowStmts(clean, cj.True, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(shadowOfFalse) > 0 {
+			tramp := &bir.Block{
+				Label: fmt.Sprintf("%s$spec%d", cj.True, nspec),
+				Stmts: shadowOfFalse,
+				Term:  &bir.Jmp{Target: cj.True},
+			}
+			nspec++
+			newBlocks = append(newBlocks, tramp)
+			cj.True = tramp.Label
+		}
+		if len(shadowOfTrue) > 0 {
+			tramp := &bir.Block{
+				Label: fmt.Sprintf("%s$spec%d", cj.False, nspec),
+				Stmts: shadowOfTrue,
+				Term:  &bir.Jmp{Target: cj.False},
+			}
+			nspec++
+			newBlocks = append(newBlocks, tramp)
+			cj.False = tramp.Label
+		}
+	}
+	out.Blocks = append(out.Blocks, newBlocks...)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shadowStmts linearizes the code reachable from label in clean (following
+// unconditional control flow, stopping at a further branch, a halt, or the
+// statement budget) and transforms it into shadow form: every register is
+// renamed to its shadow copy, shadow copies are initialized from the real
+// registers on first read, stores are dropped (transient stores do not
+// retire), and loads are annotated via opts.ObserveLoad.
+func shadowStmts(clean *bir.Program, label string, opts Options) ([]bir.Stmt, error) {
+	var raw []bir.Stmt
+	cur := label
+	budget := opts.MaxShadowStmts
+collect:
+	for {
+		b := clean.Block(cur)
+		if b == nil {
+			return nil, fmt.Errorf("spec: unknown block %q", cur)
+		}
+		for _, s := range b.Stmts {
+			if _, isObs := s.(*bir.Observe); isObs {
+				continue // clean should have none; be tolerant
+			}
+			if budget == 0 {
+				break collect
+			}
+			budget--
+			raw = append(raw, s)
+		}
+		switch t := b.Term.(type) {
+		case *bir.Jmp:
+			cur = t.Target
+		case *bir.CondJmp:
+			// Constant-true guards (from Tautologize) are straight-line:
+			// keep following the taken side. A real branch ends the
+			// speculation window (nested speculation is not modelled).
+			if t.Cond == expr.True {
+				cur = t.True
+				continue
+			}
+			break collect
+		case *bir.Halt:
+			break collect
+		}
+	}
+
+	// Transform to shadow form.
+	rename := func(e expr.BVExpr) expr.BVExpr { return expr.RenameBV(e, shadow) }
+	var out []bir.Stmt
+	initialized := map[string]bool{}
+	ensureInit := func(e expr.Expr) {
+		vars := map[string]bool{}
+		expr.Vars(e, vars, nil, nil)
+		for v := range vars {
+			if !initialized[v] {
+				initialized[v] = true
+				out = append(out, &bir.Assign{Dst: shadow(v), Rhs: expr.V64(v)})
+			}
+		}
+	}
+	markWritten := func(dst string) { initialized[dst] = true }
+	loadIdx := 0
+	for _, s := range raw {
+		switch v := s.(type) {
+		case *bir.Assign:
+			ensureInit(v.Rhs)
+			sh := &bir.Assign{Dst: shadow(v.Dst), Rhs: rename(v.Rhs)}
+			markWritten(v.Dst)
+			out = append(out, sh)
+		case *bir.Load:
+			ensureInit(v.Addr)
+			addr := rename(v.Addr)
+			if opts.ObserveLoad != nil {
+				if o := opts.ObserveLoad(addr, loadIdx); o != nil {
+					out = append(out, o)
+				}
+			}
+			loadIdx++
+			out = append(out, &bir.Load{Dst: shadow(v.Dst), Addr: addr})
+			markWritten(v.Dst)
+		case *bir.Store:
+			// Dropped: transient stores do not change memory, and the
+			// modelled core does not allocate cache lines for them.
+		}
+	}
+	if loadIdx == 0 {
+		// A shadow region without memory accesses produces no refined
+		// observations; skip it entirely to keep paths small.
+		hasObs := false
+		for _, s := range out {
+			if _, ok := s.(*bir.Observe); ok {
+				hasObs = true
+				break
+			}
+		}
+		if !hasObs {
+			return nil, nil
+		}
+	}
+	return out, nil
+}

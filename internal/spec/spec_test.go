@@ -1,0 +1,260 @@
+package spec
+
+import (
+	"testing"
+
+	"scamv/internal/arm"
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+	"scamv/internal/lifter"
+	"scamv/internal/symexec"
+)
+
+func lift(t *testing.T, src string) *bir.Program {
+	t.Helper()
+	p, err := arm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func observeAll(addr expr.BVExpr, loadIdx int) *bir.Observe {
+	return &bir.Observe{Tag: bir.TagRefined, Kind: "specload", Cond: expr.True,
+		Vals: []expr.BVExpr{addr}}
+}
+
+func TestInlineAddsShadowOfUntakenBranch(t *testing.T) {
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5, x3]
+    end:
+        hlt`)
+	q, err := Inline(bp, bp, Options{ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	// The path taking b.hs (skipping the body) must observe the shadow of
+	// the body load, computed over shadow registers equal to the inputs.
+	var skipped *symexec.Path
+	for _, p := range paths {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"] = 9, 1 // x0 >= x1: b.hs taken
+		if a.EvalBool(p.Cond) {
+			skipped = p
+		}
+	}
+	if skipped == nil {
+		t.Fatal("no path for x0 >= x1")
+	}
+	ro := skipped.RefinedObs()
+	if len(ro) != 1 {
+		t.Fatalf("refined obs on skip path: %d", len(ro))
+	}
+	a := expr.NewAssignment()
+	a.BV["x5"], a.BV["x3"] = 0x1000, 0x40
+	if got := a.EvalBV(ro[0].Vals[0]); got != 0x1040 {
+		t.Errorf("shadow load address: %#x", got)
+	}
+	// The shadow must not corrupt architectural state: x2 unchanged on the
+	// skip path.
+	if _, written := skipped.Regs["x2"]; written {
+		t.Error("shadow execution leaked into the architectural x2")
+	}
+	if _, ok := skipped.Regs[ShadowPrefix+"x2"]; !ok {
+		t.Error("shadow register #x2 missing")
+	}
+}
+
+func TestInlineEmptyElseNoTrampoline(t *testing.T) {
+	// §4.2.2: "since the else branch was initially empty, the
+	// instrumentation of the if branch has no effect".
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5, x3]
+    end:
+        hlt`)
+	q, err := Inline(bp, bp, Options{ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := symexec.Run(q, 0)
+	for _, p := range paths {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"] = 0, 5 // body executes
+		if a.EvalBool(p.Cond) && len(p.RefinedObs()) != 0 {
+			t.Error("taken path must have no shadow observations (empty else)")
+		}
+	}
+}
+
+func TestInlineShadowChainsDependentLoads(t *testing.T) {
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5, x3]
+        add x2, x2, #4
+        ldr x4, [x7, x2]
+    end:
+        hlt`)
+	q, err := Inline(bp, bp, Options{ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := symexec.Run(q, 0)
+	for _, p := range paths {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"] = 9, 1
+		if !a.EvalBool(p.Cond) {
+			continue
+		}
+		ro := p.RefinedObs()
+		if len(ro) != 2 {
+			t.Fatalf("expected 2 shadow loads, got %d", len(ro))
+		}
+		// Second shadow address: mem[#x5+#x3] + 4 + #x7.
+		a.BV["x5"], a.BV["x3"], a.BV["x7"] = 0x1000, 0, 0x2000
+		mm := expr.NewMemModel(0)
+		mm.Set(0x1000, 0x40)
+		a.Mem[bir.MemName] = mm
+		if got := a.EvalBV(ro[1].Vals[0]); got != 0x2000+0x40+4 {
+			t.Errorf("dependent shadow address: %#x", got)
+		}
+	}
+}
+
+func TestInlineBudget(t *testing.T) {
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5]
+        ldr x3, [x6]
+        ldr x4, [x7]
+    end:
+        hlt`)
+	q, err := Inline(bp, bp, Options{MaxShadowStmts: 2, ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := symexec.Run(q, 0)
+	for _, p := range paths {
+		if len(p.RefinedObs()) > 2 {
+			t.Errorf("speculation window exceeded: %d shadow loads", len(p.RefinedObs()))
+		}
+	}
+}
+
+func TestTautologize(t *testing.T) {
+	bp := lift(t, `
+        b end
+        ldr x1, [x5]
+    end:
+        hlt`)
+	q := Tautologize(bp)
+	// The skipping jump must now be a constant-true conditional branch.
+	found := false
+	for _, b := range q.Blocks {
+		if cj, ok := b.Term.(*bir.CondJmp); ok && cj.Cond == expr.True {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no tautological branch produced")
+	}
+	// Semantics preserved: the dead load still never executes
+	// architecturally.
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	if _, written := paths[0].Regs["x1"]; written {
+		t.Error("dead code executed architecturally")
+	}
+	// And with Inline, the dead load becomes a shadow observation.
+	q2, err := Inline(q, q, Options{ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths2, _ := symexec.Run(q2, 0)
+	if len(paths2[0].RefinedObs()) != 1 {
+		t.Errorf("straight-line shadow load not observed: %d", len(paths2[0].RefinedObs()))
+	}
+}
+
+func TestTautologizeKeepsFallThrough(t *testing.T) {
+	// A jump to the immediately following block is a pure fall-through and
+	// must not be rewritten.
+	bp := lift(t, `
+        movz x0, #1
+    next:
+        hlt`)
+	q := Tautologize(bp)
+	for _, b := range q.Blocks {
+		if cj, ok := b.Term.(*bir.CondJmp); ok && cj.Cond == expr.True {
+			t.Error("fall-through jump was tautologized")
+		}
+	}
+}
+
+func TestInlineStopsAtNestedBranch(t *testing.T) {
+	// The shadow region ends at a further conditional branch: only the
+	// loads BEFORE the nested branch are speculated.
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5]
+        cmp x2, x3
+        b.hi deeper
+        ldr x4, [x6]
+    deeper:
+        ldr x7, [x8]
+    end:
+        hlt`)
+	q, err := Inline(bp, bp, Options{ObserveLoad: observeAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := symexec.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"] = 9, 1 // skip the body architecturally
+		if !a.EvalBool(p.Cond) {
+			continue
+		}
+		if got := len(p.RefinedObs()); got != 1 {
+			t.Errorf("speculation must stop at the nested branch: %d shadow loads", got)
+		}
+	}
+}
+
+func TestInlineDefaultBudget(t *testing.T) {
+	opts := Options{ObserveLoad: observeAll}
+	bp := lift(t, `
+        cmp x0, x1
+        b.hs end
+        ldr x2, [x5]
+    end:
+        hlt`)
+	if _, err := Inline(bp, bp, opts); err != nil {
+		t.Fatal(err)
+	}
+}

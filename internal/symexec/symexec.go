@@ -1,0 +1,181 @@
+// Package symexec implements symbolic execution of BIR programs with
+// observation collection (paper §2.3): every feasible-by-structure execution
+// path yields a symbolic path condition and the list of symbolic
+// observations encountered along it, instantiated with the effects of the
+// assignments executed so far.
+//
+// Registers not written before being read are the symbolic inputs; memory
+// starts as the symbolic memory variable bir.MemName.
+package symexec
+
+import (
+	"fmt"
+
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+)
+
+// Obs is one observation event on a path: when Cond holds in the initial
+// state, the values Vals are observable.
+type Obs struct {
+	Tag  bir.ObsTag
+	Kind string
+	Cond expr.BoolExpr
+	Vals []expr.BVExpr
+}
+
+// Path is one terminating symbolic state σ: the path condition, the ordered
+// observation list, and the final symbolic machine state.
+type Path struct {
+	Cond  expr.BoolExpr
+	Obs   []Obs
+	Trace []string // labels of the blocks executed, in order
+	Regs  map[string]expr.BVExpr
+	Mem   expr.MemExpr
+}
+
+// ObsOfTag returns the observations whose tag satisfies keep — the
+// projection π of the paper's §5.1.
+func (p *Path) ObsOfTag(keep func(bir.ObsTag) bool) []Obs {
+	var out []Obs
+	for _, o := range p.Obs {
+		if keep(o.Tag) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// BaseObs returns the model-under-validation (M1) observations.
+func (p *Path) BaseObs() []Obs {
+	return p.ObsOfTag(func(t bir.ObsTag) bool { return t == bir.TagBase })
+}
+
+// RefinedObs returns the observations exclusive to the refined model M2.
+func (p *Path) RefinedObs() []Obs {
+	return p.ObsOfTag(func(t bir.ObsTag) bool { return t == bir.TagRefined })
+}
+
+// String renders a short description of the path.
+func (p *Path) String() string {
+	return fmt.Sprintf("path %v cond=%s obs=%d", p.Trace, p.Cond, len(p.Obs))
+}
+
+type state struct {
+	label string
+	regs  map[string]expr.BVExpr
+	mem   expr.MemExpr
+	conds []expr.BoolExpr
+	obs   []Obs
+	trace []string
+	steps int
+}
+
+func (s *state) fork() *state {
+	regs := make(map[string]expr.BVExpr, len(s.regs))
+	for k, v := range s.regs {
+		regs[k] = v
+	}
+	n := &state{
+		label: s.label,
+		regs:  regs,
+		mem:   s.mem,
+		conds: append([]expr.BoolExpr(nil), s.conds...),
+		obs:   append([]Obs(nil), s.obs...),
+		trace: append([]string(nil), s.trace...),
+		steps: s.steps,
+	}
+	return n
+}
+
+func (s *state) subBV(e expr.BVExpr) expr.BVExpr {
+	return expr.SubstBV(e, s.regs, nil).(expr.BVExpr)
+}
+
+func (s *state) subBool(e expr.BoolExpr) expr.BoolExpr {
+	return expr.SubstBV(e, s.regs, nil).(expr.BoolExpr)
+}
+
+// Run symbolically executes p, returning one Path per terminating execution
+// path. maxSteps bounds the number of blocks executed per path; exceeding it
+// (a cyclic CFG) is an error.
+func Run(p *bir.Program, maxSteps int) ([]*Path, error) {
+	if maxSteps <= 0 {
+		maxSteps = 256
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var paths []*Path
+	work := []*state{{
+		label: p.Entry,
+		regs:  make(map[string]expr.BVExpr),
+		mem:   expr.NewMemVar(bir.MemName),
+	}}
+	for len(work) > 0 {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		st.steps++
+		if st.steps > maxSteps {
+			return nil, fmt.Errorf("symexec: %s: path exceeded %d blocks (cyclic CFG?)", p.Name, maxSteps)
+		}
+		b := p.Block(st.label)
+		st.trace = append(st.trace, b.Label)
+		for _, raw := range b.Stmts {
+			switch stmt := raw.(type) {
+			case *bir.Assign:
+				st.regs[stmt.Dst] = st.subBV(stmt.Rhs)
+			case *bir.Load:
+				st.regs[stmt.Dst] = expr.NewRead(st.mem, st.subBV(stmt.Addr))
+			case *bir.Store:
+				st.mem = expr.NewStore(st.mem, st.subBV(stmt.Addr), st.subBV(stmt.Val))
+			case *bir.Observe:
+				cond := st.subBool(stmt.Cond)
+				if cond == expr.False {
+					continue
+				}
+				vals := make([]expr.BVExpr, len(stmt.Vals))
+				for i, v := range stmt.Vals {
+					vals[i] = st.subBV(v)
+				}
+				st.obs = append(st.obs, Obs{Tag: stmt.Tag, Kind: stmt.Kind, Cond: cond, Vals: vals})
+			default:
+				return nil, fmt.Errorf("symexec: unknown statement %T", raw)
+			}
+		}
+		switch t := b.Term.(type) {
+		case *bir.Halt:
+			paths = append(paths, &Path{
+				Cond:  expr.AndB(st.conds...),
+				Obs:   st.obs,
+				Trace: st.trace,
+				Regs:  st.regs,
+				Mem:   st.mem,
+			})
+		case *bir.Jmp:
+			st.label = t.Target
+			work = append(work, st)
+		case *bir.CondJmp:
+			cond := st.subBool(t.Cond)
+			switch cond {
+			case expr.True:
+				st.label = t.True
+				work = append(work, st)
+			case expr.False:
+				st.label = t.False
+				work = append(work, st)
+			default:
+				other := st.fork()
+				st.conds = append(st.conds, cond)
+				st.label = t.True
+				work = append(work, st)
+				other.conds = append(other.conds, expr.NotB(cond))
+				other.label = t.False
+				work = append(work, other)
+			}
+		default:
+			return nil, fmt.Errorf("symexec: unknown terminator %T", b.Term)
+		}
+	}
+	return paths, nil
+}

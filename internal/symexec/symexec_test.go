@@ -1,0 +1,288 @@
+package symexec
+
+import (
+	"testing"
+
+	"scamv/internal/arm"
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+	"scamv/internal/lifter"
+)
+
+func lift(t *testing.T, src string) *bir.Program {
+	t.Helper()
+	p, err := arm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := lifter.Lift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestSinglePath(t *testing.T) {
+	bp := lift(t, "movz x0, #7\nadd x1, x0, #1\nhlt")
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	if paths[0].Cond != expr.True {
+		t.Errorf("straight-line path condition should be true, got %s", paths[0].Cond)
+	}
+	a := expr.NewAssignment()
+	if got := a.EvalBV(paths[0].Regs["x1"]); got != 8 {
+		t.Errorf("x1 = %d", got)
+	}
+}
+
+func TestForkAndPathConditions(t *testing.T) {
+	bp := lift(t, `
+        cmp x0, x1
+        b.lo less
+        movz x2, #10
+        b end
+    less:
+        movz x2, #20
+    end:
+        hlt`)
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	// Path conditions must partition the input space.
+	for _, in := range [][2]uint64{{0, 1}, {1, 0}, {3, 3}} {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"] = in[0], in[1]
+		n := 0
+		for _, p := range paths {
+			if a.EvalBool(p.Cond) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("input %v satisfied %d path conditions", in, n)
+		}
+	}
+}
+
+func TestObservationCollection(t *testing.T) {
+	bp := lift(t, "ldr x2, [x0, x1]\nhlt")
+	// Instrument manually: observe the load address.
+	for _, b := range bp.Blocks {
+		var out []bir.Stmt
+		for _, s := range b.Stmts {
+			if l, ok := s.(*bir.Load); ok {
+				out = append(out, &bir.Observe{
+					Tag: bir.TagBase, Kind: "load", Cond: expr.True,
+					Vals: []expr.BVExpr{l.Addr},
+				})
+			}
+			out = append(out, s)
+		}
+		b.Stmts = out
+	}
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := paths[0].BaseObs()
+	if len(obs) != 1 {
+		t.Fatalf("obs: %d", len(obs))
+	}
+	a := expr.NewAssignment()
+	a.BV["x0"], a.BV["x1"] = 0x100, 0x20
+	if got := a.EvalBV(obs[0].Vals[0]); got != 0x120 {
+		t.Errorf("observed address: %#x", got)
+	}
+}
+
+func TestObservationSeesAssignments(t *testing.T) {
+	// The observation after an assignment must reflect the assignment — the
+	// "propagation of the symbol" example of §2.3.
+	p := bir.New("t", &bir.Block{
+		Label: "e",
+		Stmts: []bir.Stmt{
+			&bir.Assign{Dst: "x0", Rhs: expr.Add(expr.V64("x0"), expr.C64(4))},
+			&bir.Observe{Tag: bir.TagBase, Kind: "load", Cond: expr.True, Vals: []expr.BVExpr{expr.V64("x0")}},
+		},
+		Term: &bir.Halt{},
+	})
+	paths, err := Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := expr.NewAssignment()
+	a.BV["x0"] = 10
+	if got := a.EvalBV(paths[0].Obs[0].Vals[0]); got != 14 {
+		t.Errorf("observation does not see the assignment: %d", got)
+	}
+}
+
+func TestLoadBecomesSymbolicRead(t *testing.T) {
+	bp := lift(t, "ldr x1, [x0]\nldr x2, [x1]\nhlt")
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := expr.NewAssignment()
+	a.BV["x0"] = 0x1000
+	mm := expr.NewMemModel(0)
+	mm.Set(0x1000, 0x2000)
+	mm.Set(0x2000, 99)
+	a.Mem[bir.MemName] = mm
+	if got := a.EvalBV(paths[0].Regs["x2"]); got != 99 {
+		t.Errorf("nested load: %d", got)
+	}
+}
+
+func TestStoreThenLoadAliasing(t *testing.T) {
+	bp := lift(t, "str x1, [x0]\nldr x2, [x3]\nhlt")
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// When x3 == x0 the load sees the stored value.
+	a := expr.NewAssignment()
+	a.BV["x0"], a.BV["x1"], a.BV["x3"] = 0x80, 7, 0x80
+	a.Mem[bir.MemName] = expr.NewMemModel(0)
+	if got := a.EvalBV(paths[0].Regs["x2"]); got != 7 {
+		t.Errorf("aliasing store->load: %d", got)
+	}
+	// When x3 != x0 it sees the initial memory.
+	a.BV["x3"] = 0x90
+	if got := a.EvalBV(paths[0].Regs["x2"]); got != 0 {
+		t.Errorf("non-aliasing store->load: %d", got)
+	}
+}
+
+func TestCyclicProgramRejected(t *testing.T) {
+	p := bir.New("loop", &bir.Block{Label: "a", Term: &bir.Jmp{Target: "a"}})
+	if _, err := Run(p, 16); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestConditionalObservationSkippedWhenFalse(t *testing.T) {
+	p := bir.New("t", &bir.Block{
+		Label: "e",
+		Stmts: []bir.Stmt{
+			&bir.Observe{Tag: bir.TagBase, Kind: "load", Cond: expr.False, Vals: []expr.BVExpr{expr.C64(1)}},
+			&bir.Observe{Tag: bir.TagRefined, Kind: "load", Cond: expr.True, Vals: []expr.BVExpr{expr.C64(2)}},
+		},
+		Term: &bir.Halt{},
+	})
+	paths, err := Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths[0].Obs) != 1 {
+		t.Fatalf("statically false observation not dropped: %v", paths[0].Obs)
+	}
+	if len(paths[0].RefinedObs()) != 1 || len(paths[0].BaseObs()) != 0 {
+		t.Error("tag projection wrong")
+	}
+}
+
+func TestTraceRecordsBlocks(t *testing.T) {
+	bp := lift(t, "cmp x0, #1\nb.eq end\nmovz x1, #1\nend:\nhlt")
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if len(p.Trace) < 1 {
+			t.Errorf("empty trace for %s", p)
+		}
+	}
+}
+
+func TestNestedBranchesFourPaths(t *testing.T) {
+	bp := lift(t, `
+        cmp x0, x1
+        b.lo a
+        movz x2, #1
+        b join1
+    a:
+        movz x2, #2
+    join1:
+        cmp x2, x3
+        b.hi b
+        movz x4, #3
+        b end
+    b:
+        movz x4, #4
+    end:
+        hlt`)
+	paths, err := Run(bp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("expected 4 paths, got %d", len(paths))
+	}
+	// Path conditions partition the space and final states agree with a
+	// direct interpretation.
+	for _, in := range [][4]uint64{{0, 1, 0, 9}, {5, 1, 0, 0}, {9, 9, 9, 9}, {1, 2, 3, 1}} {
+		a := expr.NewAssignment()
+		a.BV["x0"], a.BV["x1"], a.BV["x3"] = in[0], in[1], in[3]
+		feasible := 0
+		for _, p := range paths {
+			if !a.EvalBool(p.Cond) {
+				continue
+			}
+			feasible++
+			x2 := uint64(1)
+			if in[0] < in[1] {
+				x2 = 2
+			}
+			x4 := uint64(3)
+			if x2 > in[3] {
+				x4 = 4
+			}
+			if got := a.EvalBV(p.Regs["x2"]); got != x2 {
+				t.Errorf("input %v: x2=%d want %d", in, got, x2)
+			}
+			if got := a.EvalBV(p.Regs["x4"]); got != x4 {
+				t.Errorf("input %v: x4=%d want %d", in, got, x4)
+			}
+		}
+		if feasible != 1 {
+			t.Errorf("input %v: %d feasible paths", in, feasible)
+		}
+	}
+}
+
+func TestObservationOrderIsProgramOrder(t *testing.T) {
+	p := bir.New("t", &bir.Block{
+		Label: "e",
+		Stmts: []bir.Stmt{
+			&bir.Observe{Tag: bir.TagBase, Kind: "first", Cond: expr.True, Vals: []expr.BVExpr{expr.C64(1)}},
+			&bir.Observe{Tag: bir.TagRefined, Kind: "second", Cond: expr.True, Vals: []expr.BVExpr{expr.C64(2)}},
+			&bir.Observe{Tag: bir.TagBase, Kind: "third", Cond: expr.True, Vals: []expr.BVExpr{expr.C64(3)}},
+		},
+		Term: &bir.Halt{},
+	})
+	paths, err := Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{}
+	for _, o := range paths[0].Obs {
+		kinds = append(kinds, o.Kind)
+	}
+	if kinds[0] != "first" || kinds[1] != "second" || kinds[2] != "third" {
+		t.Errorf("order: %v", kinds)
+	}
+	base := paths[0].BaseObs()
+	if len(base) != 2 || base[0].Kind != "first" || base[1].Kind != "third" {
+		t.Errorf("projection must preserve order: %v", base)
+	}
+}

@@ -1,0 +1,207 @@
+package scamv
+
+import (
+	"scamv/internal/gen"
+	"scamv/internal/micro"
+	"scamv/internal/obs"
+)
+
+// This file defines the experiment presets of the paper's evaluation
+// (Table 1 and the Fig. 7 table). Program counts are parameters: the paper
+// ran 425–942 programs per campaign over 7 days on 4 Raspberry Pis; the
+// benchmarks here default to a reduced scale (see bench_test.go), and
+// cmd/scamv can run the paper-scale versions.
+
+// Paper-scale campaign sizes, for reference and for cmd/scamv -paper.
+const (
+	PaperMPartPrograms     = 450
+	PaperMPartPAPrograms   = 425
+	PaperMCtAPrograms      = 655
+	PaperMCtBPrograms      = 942
+	PaperFig7CPrograms     = 8
+	PaperFig7CTests        = 1000
+	PaperMSpec1BPrograms   = 915
+	PaperStraightPrograms  = 478
+	PaperStraightTests     = 100
+	DefaultTestsPerProgram = 40
+	// Noise probabilities are calibrated so the inconclusive rates land in
+	// the ballpark of Table 1: M_ct campaigns show ~0.02-2%% inconclusive
+	// experiments, M_part campaigns ~8-26%% (the attacker-partition view is
+	// far more sensitive to spurious fills).
+	mctNoiseProb           = 0.001
+	mpartNoiseProb         = 0.01
+	defaultRandomPhaseProb = 0
+	defaultMaxConflictsGen = 200000
+	defaultARLo, defaultHi = 61, 127
+	pageAlignedARLo        = 64
+	defaultSpecWindowStmts = 16
+)
+
+func microWithNoise(noise float64) micro.Config {
+	cfg := micro.DefaultConfig()
+	cfg.NoiseProb = noise
+	return cfg
+}
+
+// MPartExperiments builds the cache-partitioning campaigns of Table 1
+// (§6.2): the unguided baseline (coverage M_pc) and the refined campaign
+// (refinement M_part', coverage M_pc & M_line). pageAligned selects the
+// page-aligned attacker region (AR = sets 64..127) instead of the default
+// AR = sets 61..127.
+func MPartExperiments(pageAligned bool, programs, tests int, seed int64) (unguided, refined Experiment) {
+	lo := uint64(defaultARLo)
+	name := "Mpart"
+	if pageAligned {
+		lo = pageAlignedARLo
+		name = "Mpart-page-aligned"
+	}
+	ar := obs.ARRegion{Lo: lo, Hi: defaultHi, Geom: obs.DefaultGeometry}
+	view := micro.RangeView(int(lo), defaultHi)
+	base := Experiment{
+		Template:        gen.Stride{},
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           microWithNoise(mpartNoiseProb),
+		AttackerView:    view,
+	}
+	unguided = base
+	unguided.Name = name + "/unguided"
+	unguided.Model = &obs.MPart{AR: ar}
+	unguided.Refined = false
+
+	refined = base
+	refined.Name = name + "/refined"
+	refined.Model = &obs.MPart{AR: ar, WithRefinement: true}
+	refined.Refined = true
+	refined.Support = obs.MLine{Geom: obs.DefaultGeometry}
+	return unguided, refined
+}
+
+// MCtExperiments builds the constant-time campaigns of Table 1 and Fig. 7
+// (§6.3, §6.5): the unguided baseline (plain M_ct) and the refined campaign
+// (refinement M_spec) for the given template.
+func MCtExperiments(tpl gen.Template, programs, tests int, seed int64) (unguided, refined Experiment) {
+	base := Experiment{
+		Template:        tpl,
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           microWithNoise(mctNoiseProb),
+		Speculative:     true,
+	}
+	unguided = base
+	unguided.Name = "Mct-" + tpl.Name() + "/unguided"
+	unguided.Model = &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecNone}
+	unguided.Refined = false
+
+	refined = base
+	refined.Name = "Mct-" + tpl.Name() + "/refined"
+	refined.Model = &obs.MCt{
+		Geom:           obs.DefaultGeometry,
+		Spec:           obs.SpecAll,
+		MaxShadowStmts: defaultSpecWindowStmts,
+	}
+	refined.Refined = true
+	return unguided, refined
+}
+
+// MSpec1Experiment builds the M_spec1 validation campaign of Fig. 7 (§6.5):
+// the model under validation is M_spec1 (M_ct plus the first transient
+// load), refined by M_spec.
+func MSpec1Experiment(tpl gen.Template, programs, tests int, seed int64) Experiment {
+	return Experiment{
+		Name:            "Mspec1-" + tpl.Name() + "/refined",
+		Template:        tpl,
+		Model:           &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecFirstBase, MaxShadowStmts: defaultSpecWindowStmts},
+		Refined:         true,
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           microWithNoise(mctNoiseProb),
+		Speculative:     true,
+	}
+}
+
+// MTimeExperiments builds the variable-time arithmetic channel campaigns
+// (the §3 illustration, run as an extension experiment): the core has an
+// early-terminating multiplier and the attacker reads the cycle counter.
+// M_ct considers multiply operands unobservable; the refined model M_time
+// observes their early-termination size class.
+func MTimeExperiments(programs, tests int, seed int64) (unguided, refined Experiment) {
+	mc := microWithNoise(0) // timing channel: deterministic core, no spurious fills
+	mc.VarTimeMul = true
+	base := Experiment{
+		Template:        gen.TemplateMul{},
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           mc,
+		TimingAttacker:  true,
+	}
+	unguided = base
+	unguided.Name = "Mtime/unguided"
+	unguided.Model = &obs.MTime{Geom: obs.DefaultGeometry}
+	unguided.Refined = false
+
+	refined = base
+	refined.Name = "Mtime/refined"
+	refined.Model = &obs.MTime{Geom: obs.DefaultGeometry, WithRefinement: true}
+	refined.Refined = true
+	return unguided, refined
+}
+
+// MPCModelExperiments validates the program-counter security model of
+// Molnar et al. (the paper's [36]) against the data-cache channel: the
+// model under validation observes only control flow; the refinement adds
+// cache-line observations. On any machine with a data cache the refined
+// campaign exposes the model immediately.
+func MPCModelExperiments(programs, tests int, seed int64) (unguided, refined Experiment) {
+	base := Experiment{
+		Template:        gen.TemplateB{},
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           microWithNoise(mctNoiseProb),
+	}
+	unguided = base
+	unguided.Name = "Mpcmodel/unguided"
+	unguided.Model = &obs.MPCModel{Geom: obs.DefaultGeometry}
+	unguided.Refined = false
+
+	refined = base
+	refined.Name = "Mpcmodel/refined"
+	refined.Model = &obs.MPCModel{Geom: obs.DefaultGeometry, WithRefinement: true}
+	refined.Refined = true
+	return unguided, refined
+}
+
+// StraightLineExperiment builds the M_spec' campaign of Fig. 7 (§6.5):
+// Template D programs with unconditional direct branches, refined by the
+// tautological-branch transform M_spec'. The branch is unconditional, so
+// there is no predictor mistraining to do.
+func StraightLineExperiment(programs, tests int, seed int64) Experiment {
+	return Experiment{
+		Name:            "Mct-tplD/Mspec'",
+		Template:        gen.TemplateD{},
+		Model:           &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecStraightLine, MaxShadowStmts: defaultSpecWindowStmts},
+		Refined:         true,
+		Programs:        programs,
+		TestsPerProgram: tests,
+		Seed:            seed,
+		RandomPhaseProb: defaultRandomPhaseProb,
+		MaxConflicts:    defaultMaxConflictsGen,
+		Micro:           microWithNoise(mctNoiseProb),
+		Speculative:     false,
+	}
+}

@@ -1,0 +1,90 @@
+package scamv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatTable renders campaign results side by side in the layout of the
+// paper's Table 1: one column per campaign, one row per metric.
+func FormatTable(results ...*Result) string {
+	cols := make([][]string, 0, len(results)+1)
+	cols = append(cols, []string{
+		"Model",
+		"Refinement",
+		"Coverage",
+		"Programs",
+		"Prog. w. Count.",
+		"Experiments",
+		"- Counterexample",
+		"- Inconclusive",
+		"- Avg. Gen. time",
+		"- Avg. Exe. time",
+		"- T.T.C.",
+	})
+	for _, r := range results {
+		ttc := "-"
+		if r.Found {
+			ttc = fmtDur(r.TTC)
+		}
+		cols = append(cols, []string{
+			r.Model,
+			r.Refinement,
+			r.Coverage,
+			fmt.Sprintf("%d", r.Programs),
+			fmt.Sprintf("%d", r.ProgramsWithCounter),
+			fmt.Sprintf("%d", r.Experiments),
+			fmt.Sprintf("%d", r.Counterexamples),
+			fmt.Sprintf("%d", r.Inconclusive),
+			fmtDur(r.AvgGen()),
+			fmtDur(r.AvgExe()),
+			ttc,
+		})
+	}
+	widths := make([]int, len(cols))
+	for i, col := range cols {
+		for _, cell := range col {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	nrows := len(cols[0])
+	for row := 0; row < nrows; row++ {
+		for i, col := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], col[row])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// fmtDur renders a duration compactly with a sensible unit.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Summary renders a one-line digest of a campaign.
+func (r *Result) Summary() string {
+	ttc := "no counterexample"
+	if r.Found {
+		ttc = fmt.Sprintf("first counterexample after %s", fmtDur(r.TTC))
+	}
+	return fmt.Sprintf("%s: %d programs (%d w/ counterexamples), %d experiments, %d counterexamples, %d inconclusive, %s",
+		r.Name, r.Programs, r.ProgramsWithCounter, r.Experiments,
+		r.Counterexamples, r.Inconclusive, ttc)
+}

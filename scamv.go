@@ -1,0 +1,558 @@
+// Package scamv is a Go reimplementation of the Scam-V side-channel model
+// validation framework with observation refinement (Buiras, Nemati, Lindner,
+// Guanciale: "Validation of Side-Channel Models via Observation Refinement",
+// MICRO 2021).
+//
+// The pipeline mirrors Fig. 1 of the paper: generate a binary program,
+// synthesize the observational-equivalence relation of the model under
+// validation, instantiate it as a pair of input states — guided by a refined
+// model and by coverage support models — and execute the pair on the
+// hardware, measuring the side channel to decide distinguishability. The
+// "hardware" here is the Cortex-A53-like simulator of internal/micro; see
+// DESIGN.md for every substitution made relative to the paper's Raspberry
+// Pi 3 platform.
+//
+// The central entry point is Run, which executes a whole Experiment
+// (many programs × many test cases) and returns the statistics the paper's
+// Table 1 and Fig. 7 report. Pipeline gives finer-grained access for single
+// programs, used by the runnable examples.
+package scamv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"scamv/internal/arm"
+	"scamv/internal/bir"
+	"scamv/internal/core"
+	"scamv/internal/gen"
+	"scamv/internal/lifter"
+	"scamv/internal/logdb"
+	"scamv/internal/micro"
+	"scamv/internal/obs"
+	"scamv/internal/symexec"
+)
+
+// Verdict classifies one executed experiment (paper §6.1: each experiment
+// is repeated and discrepancies across repetitions are inconclusive).
+type Verdict int
+
+// Experiment verdicts.
+const (
+	// Indistinguishable: the two states produced identical observable
+	// cache states in every repetition.
+	Indistinguishable Verdict = iota
+	// Counterexample: the states are distinguishable on the hardware even
+	// though the model under validation equates them — the model is unsound.
+	Counterexample
+	// Inconclusive: the repetitions disagreed (measurement noise).
+	Inconclusive
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Indistinguishable:
+		return "indistinguishable"
+	case Counterexample:
+		return "counterexample"
+	case Inconclusive:
+		return "inconclusive"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Experiment configures one full validation campaign: a program template, a
+// model pair, coverage support, and execution parameters.
+type Experiment struct {
+	// Name identifies the experiment in reports and logs.
+	Name string
+	// Template generates the test programs.
+	Template gen.Template
+	// Model is the (model under validation, refined model) pair.
+	Model obs.ModelPair
+	// Refined enables refinement guidance (s1 ≁M2 s2). When false the
+	// campaign is the unguided baseline even if Model carries refined
+	// observations.
+	Refined bool
+	// Support is the coverage support model (nil = M_pc only).
+	Support obs.Support
+
+	// Programs is the number of programs to generate; TestsPerProgram the
+	// number of test cases attempted per program.
+	Programs        int
+	TestsPerProgram int
+
+	// Seed makes the whole campaign deterministic.
+	Seed int64
+	// RandomPhaseProb diversifies solver models; see internal/smt.
+	RandomPhaseProb float64
+	// MaxConflicts bounds each solver query (0 = unbounded).
+	MaxConflicts int64
+
+	// Micro is the simulated core; zero value means micro.DefaultConfig.
+	Micro micro.Config
+	// AttackerView filters which cache sets the attacker observes
+	// (nil = the full cache).
+	AttackerView micro.View
+	// TimingAttacker extends the attacker's power with the cycle counter:
+	// two runs are distinguishable when their observable cache states OR
+	// their total execution times differ. Used by the variable-time
+	// arithmetic channel experiments (§3's illustration).
+	TimingAttacker bool
+	// Speculative enables branch-predictor mistraining before measured
+	// runs (§5.3), required for the M_ct/M_spec experiments.
+	Speculative bool
+	// TrainRuns is the number of predictor-training executions (default 4).
+	TrainRuns int
+	// Repeats is the number of repetitions per experiment (default 10).
+	Repeats int
+
+	// Log, when non-nil, receives one record per executed experiment.
+	Log *logdb.DB
+
+	// Platform executes experiments; nil means the simulated Cortex-A53
+	// (SimPlatform). A deployment against real hardware plugs in here.
+	Platform Platform
+
+	// Parallel is the number of programs processed concurrently (<= 1
+	// means sequential). Counts are deterministic regardless of the
+	// setting; only wall-clock TTC varies with scheduling.
+	Parallel int
+}
+
+func (e *Experiment) platform() Platform {
+	if e.Platform != nil {
+		return e.Platform
+	}
+	return SimPlatform{}
+}
+
+// WithDefaults returns a copy of the experiment with unset execution
+// parameters filled in (repeat counts, microarchitecture, attacker view).
+// Run applies it automatically; callers driving Pipeline.ExecuteTestCase
+// directly should apply it themselves.
+func (e *Experiment) WithDefaults() Experiment {
+	out := *e
+	if out.TrainRuns == 0 {
+		out.TrainRuns = 4
+	}
+	if out.Repeats == 0 {
+		out.Repeats = 10
+	}
+	if out.Micro.Sets == 0 {
+		noise := out.Micro.NoiseProb
+		out.Micro = micro.DefaultConfig()
+		if noise != 0 {
+			out.Micro.NoiseProb = noise
+		}
+	}
+	if out.AttackerView == nil {
+		out.AttackerView = micro.FullView
+	}
+	if out.TestsPerProgram == 0 {
+		out.TestsPerProgram = 40
+	}
+	if out.Programs == 0 {
+		out.Programs = 10
+	}
+	return out
+}
+
+// Result aggregates a campaign's outcome in the shape of the paper's
+// Table 1 rows.
+type Result struct {
+	Name       string
+	Model      string
+	Refinement string
+	Coverage   string
+
+	Programs            int // programs generated
+	ProgramsWithCounter int // programs with ≥ 1 counterexample
+	Experiments         int // executed test cases
+	Counterexamples     int
+	Inconclusive        int
+
+	GenTime time.Duration // total test-case generation time
+	ExeTime time.Duration // total experiment execution time
+
+	// TTC is the time to the first counterexample (wall clock from the
+	// start of the campaign); Found reports whether one was found at all.
+	TTC   time.Duration
+	Found bool
+}
+
+// AvgGen returns the mean generation time per experiment.
+func (r *Result) AvgGen() time.Duration {
+	if r.Experiments == 0 {
+		return 0
+	}
+	return r.GenTime / time.Duration(r.Experiments)
+}
+
+// AvgExe returns the mean execution time per experiment.
+func (r *Result) AvgExe() time.Duration {
+	if r.Experiments == 0 {
+		return 0
+	}
+	return r.ExeTime / time.Duration(r.Experiments)
+}
+
+// Pipeline is the per-program portion of the Scam-V flow: lift, instrument,
+// symbolically execute, and generate/execute test cases for one program.
+type Pipeline struct {
+	Prog         *arm.Program
+	Model        obs.ModelPair
+	Instrumented *bir.Program
+	Paths        []*symexec.Path
+	Registers    []string
+}
+
+// NewPipeline lifts and instruments prog under the model pair and runs
+// symbolic execution once (the §5.1 optimization: a single run serves both
+// M1 and M2 via observation tags).
+func NewPipeline(prog *arm.Program, model obs.ModelPair) (*Pipeline, error) {
+	bp, err := lifter.Lift(prog)
+	if err != nil {
+		return nil, fmt.Errorf("scamv: lift %s: %w", prog.Name, err)
+	}
+	inst, err := model.Instrument(bp)
+	if err != nil {
+		return nil, fmt.Errorf("scamv: instrument %s: %w", prog.Name, err)
+	}
+	paths, err := symexec.Run(inst, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scamv: symexec %s: %w", prog.Name, err)
+	}
+	var regs []string
+	for name := range inst.Registers() {
+		if isArchReg(name) {
+			regs = append(regs, name)
+		}
+	}
+	sort.Strings(regs)
+	return &Pipeline{
+		Prog:         prog,
+		Model:        model,
+		Instrumented: inst,
+		Paths:        paths,
+		Registers:    regs,
+	}, nil
+}
+
+func isArchReg(name string) bool {
+	if len(name) < 2 || name[0] != 'x' {
+		return false
+	}
+	for _, c := range name[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Generator builds the refinement-guided test-case generator for this
+// program.
+func (pl *Pipeline) Generator(e *Experiment, programSeed int64) *core.Generator {
+	return core.NewGenerator(pl.Paths, core.Config{
+		Seed:            programSeed,
+		RandomPhaseProb: e.RandomPhaseProb,
+		Refined:         e.Refined && pl.Model.Refined(),
+		Support:         e.Support,
+		MaxConflicts:    e.MaxConflicts,
+		Registers:       pl.Registers,
+	})
+}
+
+// TrainingState returns (and caches per path) the predictor-training state
+// for a test case whose states take the given path.
+func (pl *Pipeline) TrainingState(path int, seed int64) (*core.State, bool) {
+	return core.TrainingState(pl.Paths, path, pl.Registers, seed)
+}
+
+// Measurement is what the attacker observes from one victim execution: the
+// final cache state through the attacker view, and (for timing attackers)
+// the cycle count.
+type Measurement struct {
+	Snapshot *micro.Snapshot
+	Cycles   uint64
+}
+
+// Distinguishable reports whether two measurements differ for an attacker,
+// optionally including the timing channel.
+func (m Measurement) Distinguishable(o Measurement, timing bool) bool {
+	return !m.Snapshot.Equal(o.Snapshot) || timing && m.Cycles != o.Cycles
+}
+
+// Platform abstracts the experiment execution platform of the paper's
+// Fig. 8: the component that installs an architectural state, optionally
+// trains the branch predictor, runs the victim, and reports the side-channel
+// measurement. The default is the simulated Cortex-A53 (SimPlatform);
+// a deployment with real boards would implement this interface against its
+// debug bridge, as the original Scam-V does with EmbExp.
+type Platform interface {
+	Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error)
+}
+
+// SimPlatform runs experiments on the internal/micro simulator.
+type SimPlatform struct{}
+
+// Execute implements Platform.
+func (SimPlatform) Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
+	m := micro.New(e.Micro)
+	if e.Speculative && train != nil {
+		for i := 0; i < e.TrainRuns; i++ {
+			if err := m.LoadState(train.Regs, train.Mem); err != nil {
+				return Measurement{}, err
+			}
+			if err := m.Run(prog, 0, nil); err != nil {
+				return Measurement{}, err
+			}
+		}
+	}
+	if err := m.LoadState(st.Regs, st.Mem); err != nil {
+		return Measurement{}, err
+	}
+	m.ResetMicro() // the platform module clears the cache before the run
+	if err := m.Run(prog, 0, noise); err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Snapshot: m.Cache.Snapshot(e.AttackerView), Cycles: m.Cycles}, nil
+}
+
+// ExecuteTestCase runs a test case Repeats times and classifies it.
+func (pl *Pipeline) ExecuteTestCase(e *Experiment, tc *core.TestCase, train *core.State, noiseSeed int64) (Verdict, error) {
+	var verdict Verdict
+	for rep := 0; rep < e.Repeats; rep++ {
+		var n1, n2 *rand.Rand
+		if e.Micro.NoiseProb > 0 {
+			n1 = rand.New(rand.NewSource(noiseSeed + int64(rep)*2))
+			n2 = rand.New(rand.NewSource(noiseSeed + int64(rep)*2 + 1))
+		}
+		m1, err := e.platform().Execute(e, pl.Prog, tc.S1, train, n1)
+		if err != nil {
+			return 0, err
+		}
+		m2, err := e.platform().Execute(e, pl.Prog, tc.S2, train, n2)
+		if err != nil {
+			return 0, err
+		}
+		d := Indistinguishable
+		if m1.Distinguishable(m2, e.TimingAttacker) {
+			d = Counterexample
+		}
+		if rep == 0 {
+			verdict = d
+		} else if d != verdict {
+			return Inconclusive, nil
+		}
+	}
+	return verdict, nil
+}
+
+// Run executes a full experiment campaign.
+// runProgram pushes one generated program through the pipeline: test-case
+// generation, execution, classification. It is the unit of parallelism.
+type programResult struct {
+	experiments     int
+	counterexamples int
+	inconclusive    int
+	genTime         time.Duration
+	exeTime         time.Duration
+	found           bool
+	ttcWall         time.Duration
+	records         []logdb.Record
+}
+
+func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
+	// The pipeline's nominal input is binary code (the original framework
+	// transpiles binaries): round-trip the generated program through the
+	// A64 encoder so every campaign exercises real machine code. Programs
+	// outside the encodable subset (e.g. user templates with wide
+	// immediates) fall back to their structured form.
+	if words, err := arm.Encode(prog); err == nil {
+		if decoded, err := arm.Decode(prog.Name, words); err == nil {
+			prog = decoded
+		}
+	}
+	pl, err := NewPipeline(prog, e.Model)
+	if err != nil {
+		return nil, err
+	}
+	out := &programResult{}
+	g := pl.Generator(e, e.Seed+int64(p)+1)
+	trainCache := map[int]*core.State{}
+	for t := 0; t < e.TestsPerProgram; t++ {
+		genStart := time.Now()
+		tc, ok := g.Next()
+		genDur := time.Since(genStart)
+		out.genTime += genDur
+		if !ok {
+			break
+		}
+		var train *core.State
+		if e.Speculative {
+			if cached, ok := trainCache[tc.PathA]; ok {
+				train = cached
+			} else if st, ok := pl.TrainingState(tc.PathA, e.Seed+int64(p)); ok {
+				train = st
+				trainCache[tc.PathA] = st
+			}
+		}
+		exeStart := time.Now()
+		verdict, err := pl.ExecuteTestCase(e, tc, train,
+			e.Seed^0x5eed+int64(p)*100000+int64(t)*100)
+		exeDur := time.Since(exeStart)
+		out.exeTime += exeDur
+		if err != nil {
+			return nil, err
+		}
+		out.experiments++
+		switch verdict {
+		case Counterexample:
+			out.counterexamples++
+			if !out.found {
+				out.found = true
+				out.ttcWall = time.Since(start)
+			}
+		case Inconclusive:
+			out.inconclusive++
+		}
+		if e.Log != nil {
+			out.records = append(out.records, logdb.Record{
+				Experiment: e.Name,
+				Program:    prog.Name,
+				TestIndex:  t,
+				PathA:      tc.PathA,
+				PathB:      tc.PathB,
+				Class:      tc.Class,
+				Verdict:    verdict.String(),
+				GenMicros:  genDur.Microseconds(),
+				ExeMicros:  exeDur.Microseconds(),
+				Diff:       tc.Diff(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Run executes a full experiment campaign. With Parallel > 1, programs are
+// processed by a worker pool; all counts remain deterministic per seed
+// (programs are generated up front and results merged in program order),
+// while wall-clock TTC naturally varies with scheduling.
+func Run(cfg Experiment) (*Result, error) {
+	e := cfg.WithDefaults()
+	res := &Result{
+		Name:       e.Name,
+		Model:      e.Model.Name(),
+		Refinement: refinementName(&e),
+		Coverage:   obs.SupportName(e.Support),
+	}
+	start := time.Now()
+	progRng := rand.New(rand.NewSource(e.Seed))
+	progs := make([]*arm.Program, e.Programs)
+	for p := range progs {
+		progs[p] = e.Template.Generate(progRng, p)
+	}
+
+	outs := make([]*programResult, e.Programs)
+	workers := e.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > e.Programs {
+		workers = e.Programs
+	}
+	if workers <= 1 {
+		for p, prog := range progs {
+			out, err := runProgram(&e, prog, p, start)
+			if err != nil {
+				return nil, err
+			}
+			outs[p] = out
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		idxCh := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range idxCh {
+					out, err := runProgram(&e, progs[p], p, start)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					outs[p] = out
+					mu.Unlock()
+				}
+			}()
+		}
+		for p := range progs {
+			idxCh <- p
+		}
+		close(idxCh)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	// Merge in program order: deterministic counts and log.
+	for _, out := range outs {
+		if out == nil {
+			continue
+		}
+		res.Programs++
+		res.Experiments += out.experiments
+		res.Counterexamples += out.counterexamples
+		res.Inconclusive += out.inconclusive
+		res.GenTime += out.genTime
+		res.ExeTime += out.exeTime
+		if out.found {
+			res.ProgramsWithCounter++
+			if !res.Found || out.ttcWall < res.TTC {
+				res.Found = true
+				res.TTC = out.ttcWall
+			}
+		}
+		if e.Log != nil {
+			for _, rec := range out.records {
+				if err := e.Log.Append(rec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func refinementName(e *Experiment) string {
+	if !e.Refined || !e.Model.Refined() {
+		return "No"
+	}
+	switch m := e.Model.(type) {
+	case *obs.MPart:
+		return "Mpart'"
+	case *obs.MTime:
+		return "Mtime"
+	case *obs.MPCModel:
+		return "Mct"
+	case *obs.MCt:
+		switch m.Spec {
+		case obs.SpecStraightLine:
+			return "Mspec'"
+		default:
+			return "Mspec"
+		}
+	}
+	return "M2"
+}
