@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench-gen bench
+
+ci: build vet race bench-gen
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Generation-throughput benchmark: runs the MLine campaign in incremental
+# and legacy solver modes and writes BENCH_gen.json (queries/s, GenTime per
+# experiment, speedup). Fails if the incremental solver drops below 2x.
+bench-gen:
+	BENCH_GEN=1 $(GO) test -run TestWriteBenchGen -count=1 -v .
+
+# Full paper-table benchmark suite (one iteration each).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

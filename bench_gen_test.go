@@ -1,0 +1,128 @@
+package scamv
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"scamv/internal/gen"
+	"scamv/internal/obs"
+)
+
+// benchGenCampaign is the MLine-support generation benchmark of the
+// incremental-solver rework: 8 symbolic paths (TemplateA composed three
+// times), 128 coverage classes, refinement on — the configuration whose
+// per-(pair × class × slot) solver rebuild cost motivated shared-prefix
+// reuse.
+func benchGenCampaign(legacy bool) Experiment {
+	return Experiment{
+		Name:            "bench-gen-mline",
+		Template:        gen.Sequence{Parts: []gen.Template{gen.TemplateA{}, gen.TemplateA{}, gen.TemplateA{}}},
+		Model:           &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll},
+		Refined:         true,
+		Support:         obs.MLine{Geom: obs.DefaultGeometry},
+		Programs:        3,
+		TestsPerProgram: 40,
+		Seed:            2021,
+		MaxConflicts:    200000,
+		LegacySolver:    legacy,
+	}
+}
+
+// benchGenRow is one mode's entry in BENCH_gen.json.
+type benchGenRow struct {
+	Mode            string  `json:"mode"`
+	Programs        int     `json:"programs"`
+	Experiments     int     `json:"experiments"`
+	Counterexamples int     `json:"counterexamples"`
+	Inconclusive    int     `json:"inconclusive"`
+	Queries         int     `json:"queries"`
+	GenTimeMS       float64 `json:"gen_time_ms"`
+	GenPerExpUS     float64 `json:"gen_per_exp_us"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+}
+
+func benchGenRun(t *testing.T, legacy bool) benchGenRow {
+	t.Helper()
+	res, err := Run(benchGenCampaign(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := "incremental"
+	if legacy {
+		mode = "legacy"
+	}
+	row := benchGenRow{
+		Mode:            mode,
+		Programs:        res.Programs,
+		Experiments:     res.Experiments,
+		Counterexamples: res.Counterexamples,
+		Inconclusive:    res.Inconclusive,
+		Queries:         res.Queries,
+		GenTimeMS:       float64(res.GenTime.Microseconds()) / 1e3,
+	}
+	if res.Experiments > 0 {
+		row.GenPerExpUS = float64(res.GenTime.Microseconds()) / float64(res.Experiments)
+	}
+	if res.GenTime > 0 {
+		row.QueriesPerSec = float64(res.Queries) / res.GenTime.Seconds()
+	}
+	return row
+}
+
+// TestWriteBenchGen measures generation throughput of the incremental
+// solver against the legacy fresh-solver-per-stream mode on the MLine
+// campaign and writes BENCH_gen.json. Gated behind BENCH_GEN=1 so regular
+// test runs stay fast:
+//
+//	BENCH_GEN=1 go test -run TestWriteBenchGen -count=1 .
+//
+// (or `make bench-gen`). The verdict counts of the two modes must match —
+// the incremental solver changes cost, not outcomes.
+func TestWriteBenchGen(t *testing.T) {
+	if os.Getenv("BENCH_GEN") == "" {
+		t.Skip("set BENCH_GEN=1 to run the generation benchmark")
+	}
+	inc := benchGenRun(t, false)
+	leg := benchGenRun(t, true)
+	if inc.Experiments != leg.Experiments ||
+		inc.Counterexamples != leg.Counterexamples ||
+		inc.Inconclusive != leg.Inconclusive {
+		t.Errorf("verdict counts diverge between modes:\nincremental %+v\nlegacy      %+v", inc, leg)
+	}
+	speedup := 0.0
+	if inc.GenTimeMS > 0 {
+		speedup = leg.GenTimeMS / inc.GenTimeMS
+	}
+	out := struct {
+		Date        string        `json:"date"`
+		Campaign    string        `json:"campaign"`
+		Paths       int           `json:"paths"`
+		Classes     int           `json:"classes"`
+		Incremental benchGenRow   `json:"incremental"`
+		Legacy      benchGenRow   `json:"legacy"`
+		Speedup     float64       `json:"gen_time_speedup"`
+		Rows        []benchGenRow `json:"-"`
+	}{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Campaign:    "MLine-support, TemplateA^3 (8 paths), 128 classes, refined MCt/SpecAll, 3 programs x 40 tests, seed 2021",
+		Paths:       8,
+		Classes:     128,
+		Incremental: inc,
+		Legacy:      leg,
+		Speedup:     speedup,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_gen.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gen speedup: %.2fx (legacy %.1fms, incremental %.1fms; queries/s %.0f vs %.0f)",
+		speedup, leg.GenTimeMS, inc.GenTimeMS, inc.QueriesPerSec, leg.QueriesPerSec)
+	if speedup < 2 {
+		t.Errorf("gen speedup %.2fx below the 2x target", speedup)
+	}
+}

@@ -239,6 +239,40 @@ func BenchmarkAblation_PathPairSplit(b *testing.B) {
 	})
 }
 
+// BenchmarkAblation_IncrementalSolver compares the shared-prefix incremental
+// generator (one solver per path pair + slot, activation-literal class
+// scopes) against the legacy fresh-solver-per-stream mode on an
+// MLine-support program — the configuration BENCH_gen.json tracks at
+// campaign scale (`make bench-gen`).
+func BenchmarkAblation_IncrementalSolver(b *testing.B) {
+	r := rand.New(rand.NewSource(2021))
+	tpl := gen.Sequence{Parts: []gen.Template{gen.TemplateA{}, gen.TemplateA{}, gen.TemplateA{}}}
+	prog := tpl.Generate(r, 0)
+	pl, err := NewPipeline(prog, &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"incremental", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := core.NewGenerator(pl.Paths, core.Config{
+					Seed: int64(i), Refined: true, Registers: pl.Registers,
+					Support: obs.MLine{Geom: obs.DefaultGeometry},
+					Legacy:  mode.legacy,
+				})
+				for t := 0; t < 20; t++ {
+					if _, ok := g.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_Projection compares the single tagged instrumentation
 // pass of §5.1 (symbolic execution runs once) against the naive approach of
 // instrumenting and symbolically executing twice, once per model.

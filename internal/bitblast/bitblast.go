@@ -15,12 +15,16 @@ import (
 )
 
 // Blaster incrementally encodes expressions into a SAT solver. Identical
-// subtrees (by pointer) are encoded once.
+// subtrees are encoded once: every expression entering the blaster is first
+// hash-consed through an expr.Interner, so the pointer-keyed CNF caches hit
+// for structurally identical terms even when they were built independently
+// (e.g. the same observation address renamed once per incremental query).
 type Blaster struct {
 	S *sat.Solver
 
 	t, f sat.Lit // constant true / false literals
 
+	intern    *expr.Interner
 	bvCache   map[expr.BVExpr][]sat.Lit
 	boolCache map[expr.BoolExpr]sat.Lit
 	varBits   map[string][]sat.Lit
@@ -31,6 +35,7 @@ type Blaster struct {
 func New(s *sat.Solver) *Blaster {
 	b := &Blaster{
 		S:         s,
+		intern:    expr.NewInterner(),
 		bvCache:   make(map[expr.BVExpr][]sat.Lit),
 		boolCache: make(map[expr.BoolExpr]sat.Lit),
 		varBits:   make(map[string][]sat.Lit),
@@ -217,6 +222,7 @@ func (b *Blaster) litsValue(bits []sat.Lit) uint64 {
 
 // BV encodes a bitvector expression, returning its literal vector LSB first.
 func (b *Blaster) BV(e expr.BVExpr) []sat.Lit {
+	e = b.intern.Intern(e).(expr.BVExpr)
 	if bits, ok := b.bvCache[e]; ok {
 		return bits
 	}
@@ -426,6 +432,7 @@ func (b *Blaster) eqBits(x, y []sat.Lit) sat.Lit {
 // Bool encodes a boolean expression, returning a single literal equivalent
 // to it.
 func (b *Blaster) Bool(e expr.BoolExpr) sat.Lit {
+	e = b.intern.Intern(e).(expr.BoolExpr)
 	if l, ok := b.boolCache[e]; ok {
 		return l
 	}
@@ -504,4 +511,18 @@ func (b *Blaster) Assert(e expr.BoolExpr) {
 		return
 	}
 	b.S.AddClause(b.Bool(e))
+}
+
+// AssertImplied constrains act ⇒ e: each top-level conjunct of e becomes a
+// clause guarded by the negated activation literal, so the constraint is
+// active only while act is assumed (or asserted) true. This is the CNF
+// backbone of assumption-scoped assertions in internal/smt.
+func (b *Blaster) AssertImplied(act sat.Lit, e expr.BoolExpr) {
+	if n, ok := e.(*expr.Nary); ok && n.Op == expr.OpAndB {
+		for _, a := range n.Args {
+			b.AssertImplied(act, a)
+		}
+		return
+	}
+	b.S.AddClause(act.Neg(), b.Bool(e))
 }

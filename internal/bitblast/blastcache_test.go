@@ -1,0 +1,79 @@
+package bitblast
+
+import (
+	"testing"
+
+	"scamv/internal/expr"
+	"scamv/internal/sat"
+)
+
+// TestBlastCacheAcrossAsserts checks the structural blast cache: asserting a
+// second, independently built copy of a formula must not grow the CNF — the
+// interner maps it onto the first copy's literals.
+func TestBlastCacheAcrossAsserts(t *testing.T) {
+	s := sat.New(1)
+	b := New(s)
+	build := func() expr.BoolExpr {
+		x := expr.NewVar("x", 64)
+		y := expr.NewVar("y", 64)
+		return expr.Eq(expr.Add(expr.Mul(x, y), x), expr.NewConst(99, 64))
+	}
+	b.Assert(build())
+	vars := s.NumVars()
+	b.Assert(build())
+	if s.NumVars() != vars {
+		t.Fatalf("re-asserting an identical formula added %d variables", s.NumVars()-vars)
+	}
+}
+
+// TestBlastCacheSharesSubterms: a new formula reusing an already-blasted
+// subterm only pays for its new part.
+func TestBlastCacheSharesSubterms(t *testing.T) {
+	s := sat.New(1)
+	b := New(s)
+	x := expr.NewVar("x", 64)
+	y := expr.NewVar("y", 64)
+	b.Assert(expr.Ult(expr.Mul(x, y), expr.NewConst(1000, 64)))
+	grown := s.NumVars()
+
+	// Fresh structural copy of the multiply inside a new comparison: the
+	// multiplier circuit (the expensive part) must be reused.
+	s2 := sat.New(1)
+	b2 := New(s2)
+	b2.Assert(expr.Ult(expr.Mul(expr.NewVar("x", 64), expr.NewVar("y", 64)), expr.NewConst(1000, 64)))
+	b2.Assert(expr.Eq(expr.Mul(expr.NewVar("x", 64), expr.NewVar("y", 64)), expr.NewConst(42, 64)))
+	fresh := sat.New(1)
+	bf := New(fresh)
+	bf.Assert(expr.Eq(expr.Mul(expr.NewVar("x", 64), expr.NewVar("y", 64)), expr.NewConst(42, 64)))
+
+	added := s2.NumVars() - grown
+	if added >= fresh.NumVars() {
+		t.Fatalf("shared-subterm assert added %d vars, no better than a fresh blast (%d)",
+			added, fresh.NumVars())
+	}
+}
+
+// TestAssertImpliedRelaxed: clauses from AssertImplied only bind while the
+// activation literal is assumed.
+func TestAssertImpliedRelaxed(t *testing.T) {
+	s := sat.New(1)
+	b := New(s)
+	x := expr.NewVar("x", 4)
+	b.Assert(expr.Ult(x, expr.NewConst(8, 4)))
+	act := sat.MkLit(s.NewVar(), false)
+	b.AssertImplied(act, expr.AndB(
+		expr.Eq(x, expr.NewConst(5, 4)),
+		expr.Ult(expr.NewConst(1, 4), x)))
+	if s.Solve() != sat.Sat {
+		t.Fatal("relaxed formula must stay sat")
+	}
+	if s.Solve(act) != sat.Sat {
+		t.Fatal("activated formula is satisfiable")
+	}
+	if b.VarValue("x") != 5 {
+		t.Fatalf("under activation x=%d, want 5", b.VarValue("x"))
+	}
+	if s.Solve(act.Neg()) != sat.Sat {
+		t.Fatal("deactivated formula must stay sat")
+	}
+}

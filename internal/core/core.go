@@ -65,6 +65,13 @@ type Config struct {
 	// concrete values for each. Ghost and shadow registers are excluded by
 	// the caller.
 	Registers []string
+	// Legacy restores the pre-incremental behavior: one fresh solver per
+	// (path pair, class, slot) stream, re-eliminating memory and re-blasting
+	// the pair relation for every coverage class. The default (false) shares
+	// one solver per (path pair, slot): the relation and register-diff are
+	// asserted once and each class constraint is an activation-literal scope
+	// on top. Kept for A/B benchmarking of the shared-prefix reuse.
+	Legacy bool
 }
 
 // suffixes for the two states of Eq. 1.
@@ -198,9 +205,38 @@ type genKey struct {
 	slot  int
 }
 
-type stream struct {
+// pairKey identifies one shared solver: all coverage classes of a
+// (path pair, refinement slot) reuse the same encoded pair relation.
+type pairKey struct {
+	a, b int
+	slot int
+}
+
+// pairState is the shared incremental solver for one pairKey. The pair
+// relation, register-diff, and their bit-blasted CNF are built once;
+// per-class constraints are added lazily as activation-literal scopes.
+type pairState struct {
 	solver *smt.Solver
-	dead   bool
+	// prefixNames are the relation's variables (registers and memory reads),
+	// captured before any class constraint; model blocking covers these plus
+	// the class scope's own variables, matching the per-stream solvers of
+	// legacy mode.
+	prefixNames []string
+	handles     map[int]smt.Handle // class -> scoped coverage constraint
+}
+
+type stream struct {
+	dead bool
+
+	// Incremental mode: a view into the shared pair solver.
+	ps     *pairState
+	handle smt.Handle // zero Handle when Support == nil
+	names  []string   // variables to block (prefix ∪ class scope)
+	seed   int64      // per-stream search seed (ResetSearch before each query)
+	n      int64      // queries issued, diversifies the search seed
+
+	// Legacy mode: a private solver owning the whole formula.
+	solver *smt.Solver
 }
 
 // Generator enumerates test cases for one program, round-robin across path
@@ -211,6 +247,7 @@ type Generator struct {
 	paths   []*symexec.Path
 	keys    []genKey
 	streams map[genKey]*stream
+	pairs   map[pairKey]*pairState
 	rr      int
 
 	// Stats
@@ -266,21 +303,23 @@ func NewGenerator(paths []*symexec.Path, cfg Config) *Generator {
 			}
 		}
 	}
-	return &Generator{cfg: cfg, paths: paths, keys: keys, streams: make(map[genKey]*stream)}
+	return &Generator{cfg: cfg, paths: paths, keys: keys,
+		streams: make(map[genKey]*stream), pairs: make(map[pairKey]*pairState)}
 }
 
-func (g *Generator) newStream(k genKey) *stream {
-	seed := g.cfg.Seed*1000003 + int64(k.a)*8191 + int64(k.b)*131 + int64(k.class)*7 + int64(k.slot)
-	s := smt.New(smt.Options{
-		Seed:            seed,
-		RandomPhaseProb: g.cfg.RandomPhaseProb,
-		MaxConflicts:    g.cfg.MaxConflicts,
-	})
-	pa, pb := g.paths[k.a], g.paths[k.b]
-	s.Assert(PairRelationSlot(pa, pb, g.cfg.Refined, k.slot))
-	// A test case of two identical states is vacuous (trivially
-	// indistinguishable): require the architectural register vectors to
-	// differ somewhere.
+// streamSeed reproduces the per-stream solver seed of the pre-incremental
+// generator; incremental mode feeds it to ResetSearch so every class stream
+// searches like a fresh solver over the shared CNF.
+func (g *Generator) streamSeed(k genKey) int64 {
+	return g.cfg.Seed*1000003 + int64(k.a)*8191 + int64(k.b)*131 + int64(k.class)*7 + int64(k.slot)
+}
+
+// assertPrefix installs the class-independent part of a stream's formula:
+// the pair relation for the slot, plus the requirement that the two register
+// vectors differ somewhere (a test case of two identical states is vacuous).
+func (g *Generator) assertPrefix(s *smt.Solver, a, b, slot int) {
+	pa, pb := g.paths[a], g.paths[b]
+	s.Assert(PairRelationSlot(pa, pb, g.cfg.Refined, slot))
 	var diff []expr.BoolExpr
 	for _, r := range g.cfg.Registers {
 		diff = append(diff, expr.Neq(
@@ -289,10 +328,74 @@ func (g *Generator) newStream(k genKey) *stream {
 	if len(diff) > 0 {
 		s.Assert(expr.OrB(diff...))
 	}
-	if g.cfg.Support != nil {
-		s.Assert(g.cfg.Support.Constraint(k.class, renameObs(pa.Obs, sfx1)))
+}
+
+// newPairState builds the shared solver for one (path pair, slot).
+func (g *Generator) newPairState(pk pairKey) *pairState {
+	seed := g.cfg.Seed*1000003 + int64(pk.a)*8191 + int64(pk.b)*131 + int64(pk.slot)
+	s := smt.New(smt.Options{
+		Seed:            seed,
+		RandomPhaseProb: g.cfg.RandomPhaseProb,
+		MaxConflicts:    g.cfg.MaxConflicts,
+	})
+	g.assertPrefix(s, pk.a, pk.b, pk.slot)
+	return &pairState{solver: s, prefixNames: s.VarNames(), handles: make(map[int]smt.Handle)}
+}
+
+func (g *Generator) newStream(k genKey) *stream {
+	if g.cfg.Legacy {
+		s := smt.New(smt.Options{
+			Seed:            g.streamSeed(k),
+			RandomPhaseProb: g.cfg.RandomPhaseProb,
+			MaxConflicts:    g.cfg.MaxConflicts,
+		})
+		g.assertPrefix(s, k.a, k.b, k.slot)
+		if g.cfg.Support != nil {
+			s.Assert(g.cfg.Support.Constraint(k.class, renameObs(g.paths[k.a].Obs, sfx1)))
+		}
+		return &stream{solver: s}
 	}
-	return &stream{solver: s}
+	pk := pairKey{a: k.a, b: k.b, slot: k.slot}
+	ps := g.pairs[pk]
+	if ps == nil {
+		ps = g.newPairState(pk)
+		g.pairs[pk] = ps
+	}
+	st := &stream{ps: ps, seed: g.streamSeed(k), names: ps.prefixNames}
+	if g.cfg.Support != nil {
+		h, ok := ps.handles[k.class]
+		if !ok {
+			h = ps.solver.AssertScoped(
+				g.cfg.Support.Constraint(k.class, renameObs(g.paths[k.a].Obs, sfx1)))
+			ps.handles[k.class] = h
+		}
+		st.handle = h
+		st.names = unionSorted(ps.prefixNames, h.Names())
+	}
+	return st
+}
+
+// unionSorted merges two sorted, deduplicated string slices.
+func unionSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Next produces the next test case, or ok=false when every stream is
@@ -309,15 +412,37 @@ func (g *Generator) Next() (*TestCase, bool) {
 		if st.dead {
 			continue
 		}
-		switch st.solver.Check() {
+		solver := st.solver
+		var status sat.Status
+		if solver != nil { // legacy: private solver per stream
+			status = solver.Check()
+		} else {
+			solver = st.ps.solver
+			// Rewind search heuristics so this query behaves like a fresh
+			// solver seeded for this stream: preserves the minimal-model
+			// (zero-phase, boosted-input) behavior per class even though the
+			// CNF and learned clauses are shared across classes.
+			solver.ResetSearch(st.seed + st.n*65537)
+			st.n++
+			status = solver.CheckUnder(st.handle)
+		}
+		switch status {
 		case sat.Sat:
 			g.QueriesSat++
-			m := st.solver.Model()
+			m := solver.Model()
 			tc := g.extract(m, k)
 			// Block this model so the stream yields a different pair next
 			// time. Blocking covers every variable of the relation,
-			// including the memory read values.
-			if !st.solver.BlockVars(st.solver.VarNames()) {
+			// including the memory read values. Incremental streams scope
+			// the blocking clause to their class's activation literal so
+			// sibling classes on the shared solver are unaffected.
+			var blocked bool
+			if st.solver != nil {
+				blocked = solver.BlockVars(solver.VarNames())
+			} else {
+				blocked = solver.BlockVarsUnder(st.handle, st.names)
+			}
+			if !blocked {
 				st.dead = true
 			}
 			return tc, true

@@ -1,0 +1,103 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternIdentity(t *testing.T) {
+	in := NewInterner()
+	build := func() BVExpr {
+		x := NewVar("x", 64)
+		y := NewVar("y", 64)
+		return Add(Mul(x, y), Shl(x, NewConst(3, 64)))
+	}
+	a := in.Intern(build())
+	b := in.Intern(build())
+	if a != b {
+		t.Fatal("structurally equal trees must intern to one pointer")
+	}
+	c := in.Intern(Add(NewVar("x", 64), NewVar("z", 64)))
+	if c == a {
+		t.Fatal("different trees must stay distinct")
+	}
+	// Idempotence: interning a canonical node returns it unchanged.
+	if in.Intern(a) != a {
+		t.Fatal("intern must be idempotent")
+	}
+}
+
+func TestInternSharesSubterms(t *testing.T) {
+	in := NewInterner()
+	x := NewVar("x", 64)
+	sum1 := in.Intern(Add(x, NewConst(1, 64))).(BVExpr)
+	// A structurally equal subterm inside a larger tree must resolve to the
+	// same canonical node.
+	whole := in.Intern(Mul(Add(NewVar("x", 64), NewConst(1, 64)), NewConst(7, 64)))
+	bin, ok := whole.(*Bin)
+	if !ok {
+		t.Fatalf("expected Bin, got %T", whole)
+	}
+	if bin.X != sum1 {
+		t.Fatal("subterm not shared with earlier interned term")
+	}
+}
+
+func TestInternBoolAndMemory(t *testing.T) {
+	in := NewInterner()
+	mem := NewMemVar("MEM")
+	addr := NewVar("a", 64)
+	r1 := in.Intern(NewRead(NewStore(mem, addr, NewConst(5, 64)), NewVar("b", 64)))
+	r2 := in.Intern(NewRead(NewStore(NewMemVar("MEM"), NewVar("a", 64), NewConst(5, 64)), NewVar("b", 64)))
+	if r1 != r2 {
+		t.Fatal("reads over equal stores must intern together")
+	}
+	c1 := in.Intern(AndB(Eq(addr, NewConst(1, 64)), NotB(Ult(addr, NewConst(9, 64)))))
+	c2 := in.Intern(AndB(Eq(NewVar("a", 64), NewConst(1, 64)), NotB(Ult(NewVar("a", 64), NewConst(9, 64)))))
+	if c1 != c2 {
+		t.Fatal("boolean trees must intern together")
+	}
+}
+
+// TestInternPreservesSemantics evaluates random expressions before and after
+// interning under random assignments.
+func TestInternPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	in := NewInterner()
+	vars := []BVExpr{NewVar("x", 64), NewVar("y", 64), NewVar("z", 64)}
+	var gen func(depth int) BVExpr
+	gen = func(depth int) BVExpr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return vars[rng.Intn(len(vars))]
+			}
+			return NewConst(rng.Uint64()%1024, 64)
+		}
+		x, y := gen(depth-1), gen(depth-1)
+		switch rng.Intn(6) {
+		case 0:
+			return Add(x, y)
+		case 1:
+			return Sub(x, y)
+		case 2:
+			return Mul(x, y)
+		case 3:
+			return And(x, y)
+		case 4:
+			return Xor(x, y)
+		default:
+			return NewIte(Ult(x, y), x, y)
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		e := gen(4)
+		canon := in.Intern(e).(BVExpr)
+		a := NewAssignment()
+		a.BV["x"] = rng.Uint64()
+		a.BV["y"] = rng.Uint64()
+		a.BV["z"] = rng.Uint64()
+		if a.EvalBV(e) != a.EvalBV(canon) {
+			t.Fatalf("iter %d: interned expression evaluates differently", iter)
+		}
+	}
+}

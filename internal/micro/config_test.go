@@ -1,0 +1,50 @@
+package micro
+
+import "testing"
+
+func TestConfigWithDefaults(t *testing.T) {
+	d := DefaultConfig()
+	cases := []struct {
+		name string
+		in   Config
+		want func(Config) bool
+	}{
+		{"empty gets all defaults", Config{}, func(c Config) bool {
+			return c == d
+		}},
+		{"noise survives", Config{NoiseProb: 0.25}, func(c Config) bool {
+			return c.NoiseProb == 0.25 && c.Sets == d.Sets && c.SpecWindow == d.SpecWindow
+		}},
+		{"vartime and cycle costs survive", Config{VarTimeMul: true, HitCycles: 1, MissCycles: 7}, func(c Config) bool {
+			return c.VarTimeMul && c.HitCycles == 1 && c.MissCycles == 7 &&
+				c.MispredictCycles == d.MispredictCycles && c.Ways == d.Ways
+		}},
+		{"spec window survives", Config{SpecWindow: 5}, func(c Config) bool {
+			return c.SpecWindow == 5 && c.Sets == d.Sets
+		}},
+		{"no-speculation sentinel survives", Config{SpecWindow: NoSpeculation}, func(c Config) bool {
+			return c.SpecWindow < 0
+		}},
+		{"prefetch disabled survives", Config{PrefetchDisabled: true, Sets: 64}, func(c Config) bool {
+			return c.PrefetchDisabled && c.Sets == 64 && c.PrefetchRun == d.PrefetchRun
+		}},
+		{"replacement passes through", Config{Replacement: PseudoRandom, ReplacementSeed: 3}, func(c Config) bool {
+			return c.Replacement == PseudoRandom && c.ReplacementSeed == 3
+		}},
+		{"geometry survives", Config{Sets: 32, Ways: 2, LineBits: 5, PageBits: 14}, func(c Config) bool {
+			return c.Sets == 32 && c.Ways == 2 && c.LineBits == 5 && c.PageBits == 14
+		}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.WithDefaults(); !tc.want(got) {
+			t.Errorf("%s: got %+v", tc.name, got)
+		}
+	}
+}
+
+func TestNoSpeculationDisablesSpeculation(t *testing.T) {
+	cfg := Config{SpecWindow: NoSpeculation}.WithDefaults()
+	if cfg.SpecWindow > 0 {
+		t.Fatalf("SpecWindow = %d, speculation should stay disabled", cfg.SpecWindow)
+	}
+}

@@ -129,6 +129,50 @@ func DefaultConfig() Config {
 	}
 }
 
+// NoSpeculation is an explicit SpecWindow value requesting a core that never
+// executes transiently. WithDefaults treats SpecWindow == 0 as "unset" and
+// fills in the default window, so a deliberately non-speculating config must
+// say so with this sentinel; the simulator treats any non-positive window as
+// disabled.
+const NoSpeculation = -1
+
+// WithDefaults merges c with DefaultConfig field by field: zero-value fields
+// take the default, set fields survive. Booleans (PrefetchDisabled,
+// ForwardTransientLoads, VarTimeMul), NoiseProb, Replacement (zero is LRU,
+// the default policy) and ReplacementSeed pass through unchanged; use
+// NoSpeculation rather than 0 to disable speculation explicitly.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.Sets == 0 {
+		c.Sets = d.Sets
+	}
+	if c.Ways == 0 {
+		c.Ways = d.Ways
+	}
+	if c.LineBits == 0 {
+		c.LineBits = d.LineBits
+	}
+	if c.PageBits == 0 {
+		c.PageBits = d.PageBits
+	}
+	if c.PrefetchRun == 0 {
+		c.PrefetchRun = d.PrefetchRun
+	}
+	if c.SpecWindow == 0 {
+		c.SpecWindow = d.SpecWindow
+	}
+	if c.HitCycles == 0 {
+		c.HitCycles = d.HitCycles
+	}
+	if c.MissCycles == 0 {
+		c.MissCycles = d.MissCycles
+	}
+	if c.MispredictCycles == 0 {
+		c.MispredictCycles = d.MispredictCycles
+	}
+	return c
+}
+
 // ---------------------------------------------------------------------------
 // Cache
 // ---------------------------------------------------------------------------

@@ -1,0 +1,190 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssumptionsBasic(t *testing.T) {
+	s := New(1)
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	if s.Solve(MkLit(a, true)) != Sat {          // assume ¬a
+		t.Fatal("sat under ¬a expected")
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Fatal("model must satisfy assumption ¬a and clause via b")
+	}
+	if s.Solve(MkLit(a, false)) != Sat { // assume a
+		t.Fatal("sat under a expected")
+	}
+	if !s.Value(a) {
+		t.Fatal("model must satisfy assumption a")
+	}
+}
+
+func TestUnsatUnderAssumptionsNotGlobal(t *testing.T) {
+	s := New(1)
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	s.AddClause(MkLit(a, true), MkLit(b, true))   // ¬a ∨ ¬b
+	if s.Solve(MkLit(a, false), MkLit(b, false)) != Unsat {
+		t.Fatal("a ∧ b contradicts ¬a ∨ ¬b")
+	}
+	// The solver must remain usable and globally satisfiable.
+	if s.Solve() != Sat {
+		t.Fatal("still sat without assumptions")
+	}
+	if s.Solve(MkLit(a, false)) != Sat {
+		t.Fatal("sat under a alone")
+	}
+	if !s.Value(a) || s.Value(b) {
+		t.Fatal("a forces ¬b")
+	}
+}
+
+func TestAssumptionConflictsWithUnit(t *testing.T) {
+	s := New(1)
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false)) // a
+	if s.Solve(MkLit(a, true)) != Unsat {
+		t.Fatal("assumption ¬a contradicts unit a")
+	}
+	if s.Solve() != Sat || !s.Value(a) {
+		t.Fatal("globally sat with a=true")
+	}
+}
+
+// TestActivationLiteralScoping is the tentpole usage pattern: clauses of the
+// form (¬act ∨ c) activated per query, with scoped blocking clauses.
+func TestActivationLiteralScoping(t *testing.T) {
+	s := New(7)
+	x := s.NewVar()
+	act1, act2 := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(act1, true), MkLit(x, false)) // act1 ⇒ x
+	s.AddClause(MkLit(act2, true), MkLit(x, true))  // act2 ⇒ ¬x
+	if s.Solve(MkLit(act1, false)) != Sat || !s.Value(x) {
+		t.Fatal("under act1, x must hold")
+	}
+	if s.Solve(MkLit(act2, false)) != Sat || s.Value(x) {
+		t.Fatal("under act2, ¬x must hold")
+	}
+	if s.Solve(MkLit(act1, false), MkLit(act2, false)) != Unsat {
+		t.Fatal("both scopes together are contradictory")
+	}
+	// Scoped blocking: forbid x=true only inside scope 1.
+	s.AddClause(MkLit(act1, true), MkLit(x, true))
+	if s.Solve(MkLit(act1, false)) != Unsat {
+		t.Fatal("scope 1 exhausted")
+	}
+	if s.Solve(MkLit(act2, false)) != Sat {
+		t.Fatal("scope 2 unaffected by scope 1's blocking")
+	}
+}
+
+// TestAssumptionsAgainstBruteForce cross-checks Solve(assumptions) on random
+// small instances against exhaustive enumeration.
+func TestAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		nv := 4 + rng.Intn(4)
+		nc := 3 + rng.Intn(12)
+		clauses := make([][]Lit, nc)
+		for i := range clauses {
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				clauses[i] = append(clauses[i], MkLit(rng.Intn(nv), rng.Intn(2) == 0))
+			}
+		}
+		var assumptions []Lit
+		seen := map[int]bool{}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			v := rng.Intn(nv)
+			if !seen[v] {
+				seen[v] = true
+				assumptions = append(assumptions, MkLit(v, rng.Intn(2) == 0))
+			}
+		}
+		sats := func(model uint) bool {
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if (model>>uint(l.Var())&1 == 1) != l.Sign() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			for _, l := range assumptions {
+				if (model>>uint(l.Var())&1 == 1) == l.Sign() {
+					return false
+				}
+			}
+			return true
+		}
+		want := Unsat
+		for model := uint(0); model < 1<<uint(nv); model++ {
+			if sats(model) {
+				want = Sat
+				break
+			}
+		}
+		s := New(int64(iter))
+		s.RandomPhaseProb = 0.2
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			ok = s.AddClause(c...) && ok
+		}
+		got := s.Solve(assumptions...)
+		if !ok && got == Unsat {
+			continue
+		}
+		if got != want {
+			t.Fatalf("iter %d: got %v, brute force says %v", iter, got, want)
+		}
+		if got == Sat {
+			var model uint
+			for v := 0; v < nv; v++ {
+				if s.Value(v) {
+					model |= 1 << uint(v)
+				}
+			}
+			if !sats(model) {
+				t.Fatalf("iter %d: reported model violates formula or assumptions", iter)
+			}
+		}
+	}
+}
+
+// TestResetSearchRestoresPhases checks ResetSearch's contract: saved phases
+// and activities from intervening queries are discarded, so a repeated query
+// reproduces its original (minimal, zero-default) model instead of echoing
+// whatever the last search assigned. This is what lets logically independent
+// streams share one solver without their searches contaminating each other.
+func TestResetSearchRestoresPhases(t *testing.T) {
+	s := New(3)
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	wantA, wantB := s.Value(a), s.Value(b)
+	// An unrelated query flips the assignment; phase saving now remembers it.
+	if s.Solve(MkLit(b, true)) != Sat || !s.Value(a) {
+		t.Fatal("assuming ¬b must force a")
+	}
+	s.ResetSearch(3)
+	if s.Solve() != Sat {
+		t.Fatal("sat expected after reset")
+	}
+	if s.Value(a) != wantA || s.Value(b) != wantB {
+		t.Fatalf("reset query model (%v,%v) differs from original (%v,%v)",
+			s.Value(a), s.Value(b), wantA, wantB)
+	}
+}

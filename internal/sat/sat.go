@@ -80,8 +80,9 @@ type Solver struct {
 	heap     *varHeap
 	seen     []bool
 
-	phase        []int8 // saved phase: 1 true, -1 false, 0 use default
-	DefaultPhase bool   // initial polarity for decisions (false = assign 0)
+	phase        []int8    // saved phase: 1 true, -1 false, 0 use default
+	baseAct      []float64 // initial activity (BoostVar amounts), for ResetSearch
+	DefaultPhase bool      // initial polarity for decisions (false = assign 0)
 
 	// RandomPhaseProb is the probability that a decision uses a random
 	// polarity instead of the saved/default phase. Non-zero values
@@ -101,7 +102,7 @@ type Solver struct {
 	Learnt       int64
 
 	// MaxConflicts, when positive, aborts Solve with Unknown after that
-	// many conflicts.
+	// many conflicts within one Solve call.
 	MaxConflicts int64
 }
 
@@ -119,6 +120,7 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
+	s.baseAct = append(s.baseAct, 0)
 	s.phase = append(s.phase, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
@@ -336,10 +338,31 @@ func (s *Solver) decayActivities() { s.varInc /= 0.95 }
 // BoostVar raises a variable's initial activity so it is decided early.
 // The bit-blaster boosts the bits of named input variables: together with
 // the zero default phase, this biases models of underconstrained formulas
-// toward zero inputs, mimicking Z3's default models.
+// toward zero inputs, mimicking Z3's default models. The boost amount is
+// also recorded as the variable's base activity, which ResetSearch restores.
 func (s *Solver) BoostVar(v int, amount float64) {
 	s.activity[v] += s.varInc * amount
+	s.baseAct[v] += amount
 	s.heap.update(v)
+}
+
+// ResetSearch rewinds the solver's search heuristics to their initial
+// state — saved phases cleared, activities restored to the BoostVar base
+// values, the activity increment reset, and the randomized-decision stream
+// reseeded — while keeping the clause database (including learnt clauses)
+// intact. Incremental callers that interleave logically independent queries
+// on one solver (e.g. per-coverage-class checks under assumptions) use it so
+// each query finds the same minimal-model-style answer a fresh solver over
+// the same CNF would, instead of inheriting the previous query's phases.
+func (s *Solver) ResetSearch(seed int64) {
+	s.cancelUntil(0)
+	s.rng = rand.New(rand.NewSource(seed))
+	s.varInc = 1
+	for v := range s.assigns {
+		s.phase[v] = 0
+		s.activity[v] = s.baseAct[v]
+	}
+	s.heap.rebuild(s.assigns)
 }
 
 func (s *Solver) cancelUntil(lvl int32) {
@@ -410,9 +433,21 @@ func luby(x int64) int64 {
 	return 1 << seq
 }
 
-// Solve searches for a satisfying assignment. It returns Sat, Unsat, or
-// Unknown (only when MaxConflicts is exceeded).
-func (s *Solver) Solve() Status {
+// Solve searches for a satisfying assignment consistent with the given
+// assumption literals. It returns Sat, Unsat, or Unknown (only when
+// MaxConflicts is exceeded within this call).
+//
+// Assumptions are enqueued as pseudo-decisions at successive decision
+// levels before any search decision, in the MiniSat style: restarts and
+// conflict-driven backjumps may cancel below the assumption levels, and the
+// search loop re-establishes whatever assumptions were unwound before
+// picking the next branch variable. An Unsat result under non-empty
+// assumptions means only that the assumptions are inconsistent with the
+// clause database; the solver stays usable and later calls (with other
+// assumptions, or none) may still return Sat. After Sat, the full model —
+// including the assumption literals — is readable through Value and Model
+// until the next Solve or AddClause call.
+func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
@@ -421,9 +456,15 @@ func (s *Solver) Solve() Status {
 		s.unsat = true
 		return Unsat
 	}
+	for _, a := range assumptions {
+		if a.Var() >= s.NumVars() {
+			panic("sat: assumption references unallocated variable")
+		}
+	}
 	restart := int64(0)
 	budget := luby(restart) * 100
 	conflictsHere := int64(0)
+	startConflicts := s.Conflicts
 
 	for {
 		confl := s.propagate()
@@ -446,7 +487,7 @@ func (s *Solver) Solve() Status {
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.decayActivities()
-			if s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.Conflicts-startConflicts >= s.MaxConflicts {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -459,13 +500,38 @@ func (s *Solver) Solve() Status {
 			}
 			continue
 		}
-		v := s.pickBranchVar()
-		if v == -1 {
-			return Sat // all variables assigned
+		// Re-establish assumptions unwound by backjumps or restarts: one
+		// pseudo-decision level per assumption, before any real decision.
+		next := Lit(-1)
+		for int(s.decisionLevel()) < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.litValue(p) {
+			case 1:
+				// Already satisfied: open an empty level so the remaining
+				// assumptions keep their level alignment.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case -1:
+				// The clause database forces the complement: unsat under
+				// these assumptions, but not globally.
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				next = p
+			}
+			if next != -1 {
+				break
+			}
 		}
-		s.Decisions++
+		if next == -1 {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return Sat // all variables assigned
+			}
+			s.Decisions++
+			next = MkLit(v, !s.pickPhase(v))
+		}
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.uncheckedEnqueue(MkLit(v, !s.pickPhase(v)), nil)
+		s.uncheckedEnqueue(next, nil)
 	}
 }
 
@@ -515,6 +581,21 @@ func (h *varHeap) insert(v int) {
 func (h *varHeap) update(v int) {
 	if h.contains(v) {
 		h.up(h.pos[v])
+	}
+}
+
+// rebuild discards the heap and reinserts every unassigned variable in
+// index order, so the layout (and therefore tie-breaking among equal
+// activities) matches a freshly-constructed solver's heap.
+func (h *varHeap) rebuild(assigns []int8) {
+	h.heap = h.heap[:0]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	for v, a := range assigns {
+		if a == 0 {
+			h.insert(v)
+		}
 	}
 }
 

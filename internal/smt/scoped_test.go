@@ -1,0 +1,156 @@
+package smt
+
+import (
+	"testing"
+
+	"scamv/internal/expr"
+	"scamv/internal/sat"
+)
+
+// TestScopedAssertionsIndependent models the generator's class streams: one
+// shared prefix, several mutually exclusive scoped constraints, each
+// checkable on its own.
+func TestScopedAssertionsIndependent(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.NewVar("x", 8)
+	s.Assert(expr.Ult(x, expr.NewConst(200, 8))) // shared prefix
+	h0 := s.AssertScoped(expr.Eq(x, expr.NewConst(3, 8)))
+	h1 := s.AssertScoped(expr.Eq(x, expr.NewConst(7, 8)))
+	if s.CheckUnder(h0) != sat.Sat || s.Model().BV["x"] != 3 {
+		t.Fatal("scope 0 must pin x=3")
+	}
+	if s.CheckUnder(h1) != sat.Sat || s.Model().BV["x"] != 7 {
+		t.Fatal("scope 1 must pin x=7")
+	}
+	if s.CheckUnder(h0, h1) != sat.Unsat {
+		t.Fatal("both scopes together are contradictory")
+	}
+	if s.Check() != sat.Sat {
+		t.Fatal("plain check ignores scoped assertions")
+	}
+	if s.CheckUnder(h0) != sat.Sat || s.Model().BV["x"] != 3 {
+		t.Fatal("scope 0 must still be checkable after a global unsat-free run")
+	}
+}
+
+func TestScopedHandleNames(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.NewVar("x", 64)
+	y := expr.NewVar("y", 64)
+	s.Assert(expr.Ult(x, expr.NewConst(10, 64)))
+	h := s.AssertScoped(expr.Eq(y, expr.Add(x, expr.NewConst(1, 64))))
+	names := h.Names()
+	want := map[string]bool{"x": true, "y": true}
+	if len(names) != 2 || !want[names[0]] || !want[names[1]] {
+		t.Fatalf("handle names = %v, want x and y", names)
+	}
+}
+
+// TestScopedReadCapture checks that memory reads introduced while asserting
+// a scoped formula appear in the handle's name set, so scoped model blocking
+// covers the memory image.
+func TestScopedReadCapture(t *testing.T) {
+	s := New(Options{Seed: 1})
+	mem := expr.NewMemVar("MEM")
+	a := expr.NewVar("a", 64)
+	h := s.AssertScoped(expr.Eq(expr.NewRead(mem, a), expr.NewConst(5, 64)))
+	foundRead := false
+	for _, n := range h.Names() {
+		if len(n) > 4 && n[:4] == "$rd_" {
+			foundRead = true
+		}
+	}
+	if !foundRead {
+		t.Fatalf("handle names %v miss the introduced read variable", h.Names())
+	}
+}
+
+// TestBlockVarsUnderScoped enumerates models inside one scope and checks the
+// sibling scope is unaffected — the incremental generator's model blocking.
+func TestBlockVarsUnderScoped(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.NewVar("x", 2)
+	h0 := s.AssertScoped(expr.Ult(x, expr.NewConst(2, 2))) // x ∈ {0, 1}
+	h1 := s.AssertScoped(expr.Ule(x, expr.NewConst(1, 2))) // same set, own scope
+	seen := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		if s.CheckUnder(h0) != sat.Sat {
+			t.Fatalf("query %d: expected sat", i)
+		}
+		v := s.Model().BV["x"]
+		if seen[v] {
+			t.Fatalf("model x=%d repeated despite blocking", v)
+		}
+		seen[v] = true
+		if !s.BlockVarsUnder(h0, []string{"x"}) {
+			t.Fatal("blocking must succeed while x is encoded")
+		}
+	}
+	if s.CheckUnder(h0) != sat.Unsat {
+		t.Fatal("scope 0 must be exhausted after two models")
+	}
+	if s.CheckUnder(h1) != sat.Sat {
+		t.Fatal("scope 1 must be unaffected by scope 0's blocking")
+	}
+}
+
+// TestZeroHandleFallsBack: the zero Handle (no Support case) behaves like
+// the unscoped API.
+func TestZeroHandleFallsBack(t *testing.T) {
+	s := New(Options{Seed: 1})
+	x := expr.NewVar("x", 2)
+	s.Assert(expr.Ult(x, expr.NewConst(2, 2)))
+	var h Handle
+	count := 0
+	for count < 4 {
+		if s.CheckUnder(h) != sat.Sat {
+			break
+		}
+		count++
+		if !s.BlockVarsUnder(h, []string{"x"}) {
+			break
+		}
+	}
+	if count != 2 {
+		t.Fatalf("enumerated %d models, want 2", count)
+	}
+}
+
+// TestScopedDeterministicWithReset mirrors the generator's usage: resetting
+// the search with a fixed seed before each query makes the per-scope model
+// sequence reproducible.
+func TestScopedDeterministicWithReset(t *testing.T) {
+	run := func() []uint64 {
+		s := New(Options{Seed: 9})
+		x := expr.NewVar("x", 4)
+		y := expr.NewVar("y", 4)
+		s.Assert(expr.Eq(expr.And(x, y), expr.NewConst(0, 4)))
+		ha := s.AssertScoped(expr.Ult(x, expr.NewConst(5, 4)))
+		hb := s.AssertScoped(expr.Ult(y, expr.NewConst(5, 4)))
+		var out []uint64
+		for i := 0; i < 3; i++ {
+			s.ResetSearch(100)
+			if s.CheckUnder(ha) != sat.Sat {
+				break
+			}
+			out = append(out, s.Model().BV["x"])
+			s.BlockVarsUnder(ha, []string{"x", "y"})
+			s.ResetSearch(200)
+			if s.CheckUnder(hb) != sat.Sat {
+				break
+			}
+			out = append(out, s.Model().BV["y"])
+			s.BlockVarsUnder(hb, []string{"x", "y"})
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("model sequences differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("model %d differs across identical runs: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -43,7 +43,12 @@ type readInfo struct {
 }
 
 // Solver is an incremental SMT solver: assert formulas, check, read a model,
-// block it, and check again.
+// block it, and check again. Beyond plain global assertions it supports
+// assumption-scoped assertions: AssertScoped encodes a formula guarded by a
+// fresh activation literal and CheckUnder solves with a chosen set of
+// activation literals assumed true, so many logically independent queries
+// over a shared prefix reuse one solver (one memory elimination, one
+// bit-blasting) instead of rebuilding it per query.
 type Solver struct {
 	sat *sat.Solver
 	bl  *bitblast.Blaster
@@ -54,7 +59,25 @@ type Solver struct {
 
 	bvVars   map[string]uint // declared widths of encoded variables
 	boolVars map[string]bool
+
+	// capture, when non-nil, collects the names of bitvector variables
+	// referenced (or introduced by read elimination) while asserting one
+	// scoped formula; AssertScoped stores them in the returned Handle.
+	capture map[string]bool
 }
+
+// Handle identifies one assumption-scoped assertion: pass it to CheckUnder
+// to activate the formula, and to BlockVarsUnder to add blocking clauses
+// that apply only while the formula is active.
+type Handle struct {
+	act   sat.Lit
+	names []string // bitvector variables referenced by the scoped formula
+	valid bool
+}
+
+// Names returns the sorted bitvector variable names referenced by the
+// scoped formula (including read variables its elimination introduced).
+func (h Handle) Names() []string { return h.names }
 
 // New returns a fresh solver.
 func New(opts Options) *Solver {
@@ -79,11 +102,54 @@ func (s *Solver) Assert(e expr.BoolExpr) {
 	s.bl.Assert(flat)
 }
 
+// AssertScoped encodes e guarded by a fresh activation literal and returns
+// a Handle for it. The formula constrains the search only during CheckUnder
+// calls that list the handle; other checks (and plain Check) see it fully
+// relaxed. Scoped assertions cannot be retracted, but an unused scope costs
+// only its (shared, cached) CNF.
+func (s *Solver) AssertScoped(e expr.BoolExpr) Handle {
+	s.capture = make(map[string]bool)
+	flat := s.elim(e).(expr.BoolExpr)
+	s.recordVars(flat)
+	names := make([]string, 0, len(s.capture))
+	for n := range s.capture {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s.capture = nil
+	act := sat.MkLit(s.sat.NewVar(), false)
+	s.bl.AssertImplied(act, flat)
+	return Handle{act: act, names: names, valid: true}
+}
+
+// CheckUnder runs the SAT search with the given scoped assertions active.
+// With no handles it is equivalent to Check. On Sat, the model (read via
+// Model) satisfies every active scoped formula plus all plain assertions.
+func (s *Solver) CheckUnder(handles ...Handle) sat.Status {
+	assumptions := make([]sat.Lit, 0, len(handles))
+	for _, h := range handles {
+		if h.valid {
+			assumptions = append(assumptions, h.act)
+		}
+	}
+	return s.sat.Solve(assumptions...)
+}
+
+// ResetSearch rewinds the backend solver's search heuristics (phases,
+// activities, randomization) to their initial state, keeping all encoded
+// clauses. Incremental callers reset between logically independent
+// CheckUnder queries so each behaves like a fresh solver over the same CNF;
+// see sat.Solver.ResetSearch.
+func (s *Solver) ResetSearch(seed int64) { s.sat.ResetSearch(seed) }
+
 func (s *Solver) recordVars(e expr.Expr) {
 	bv := make(map[string]bool)
 	boolv := make(map[string]bool)
 	expr.Vars(e, bv, boolv, nil)
 	for name := range bv {
+		if s.capture != nil {
+			s.capture[name] = true
+		}
 		if _, ok := s.bvVars[name]; !ok {
 			s.bvVars[name] = 0 // width filled in lazily below
 		}
@@ -246,6 +312,9 @@ func (s *Solver) readBase(m expr.MemExpr, addr expr.BVExpr) expr.BVExpr {
 		}
 		s.reads[mv.Name] = append(s.reads[mv.Name], readInfo{addr: addr, v: v})
 		s.bvVars[v.Name] = 64
+		if s.capture != nil {
+			s.capture[v.Name] = true
+		}
 		return v
 	}
 	panic(fmt.Sprintf("smt: readBase on %T", m))
@@ -328,6 +397,39 @@ func (s *Solver) BlockVars(names []string) bool {
 		}
 	}
 	if len(clause) == 0 {
+		return false
+	}
+	s.sat.AddClause(clause...)
+	return true
+}
+
+// BlockVarsUnder is BlockVars restricted to the scope of h: the blocking
+// clause carries ¬h.act, so it only forbids the model during CheckUnder
+// calls that activate h. Other scopes sharing this solver are unaffected.
+func (s *Solver) BlockVarsUnder(h Handle, names []string) bool {
+	if !h.valid {
+		return s.BlockVars(names)
+	}
+	clause := []sat.Lit{h.act.Neg()}
+	for _, name := range names {
+		if !s.bl.HasVar(name) {
+			continue
+		}
+		w := s.bvVars[name]
+		if w == 0 {
+			w = 64
+		}
+		val := s.bl.VarValue(name)
+		bits := s.bl.VarBits(name, w)
+		for i, l := range bits {
+			if val>>uint(i)&1 == 1 {
+				clause = append(clause, l.Neg())
+			} else {
+				clause = append(clause, l)
+			}
+		}
+	}
+	if len(clause) == 1 {
 		return false
 	}
 	s.sat.AddClause(clause...)

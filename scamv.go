@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scamv/internal/arm"
@@ -121,6 +122,12 @@ type Experiment struct {
 	// means sequential). Counts are deterministic regardless of the
 	// setting; only wall-clock TTC varies with scheduling.
 	Parallel int
+
+	// LegacySolver disables the shared-prefix incremental solver and builds
+	// one fresh SMT solver per generator stream, as before the incremental
+	// rework. Kept for A/B benchmarking (see core.Config.Legacy); campaigns
+	// should leave it false.
+	LegacySolver bool
 }
 
 func (e *Experiment) platform() Platform {
@@ -142,13 +149,11 @@ func (e *Experiment) WithDefaults() Experiment {
 	if out.Repeats == 0 {
 		out.Repeats = 10
 	}
-	if out.Micro.Sets == 0 {
-		noise := out.Micro.NoiseProb
-		out.Micro = micro.DefaultConfig()
-		if noise != 0 {
-			out.Micro.NoiseProb = noise
-		}
-	}
+	// Merge the microarchitecture field by field so a partially-set config
+	// keeps its explicit fields (VarTimeMul, SpecWindow, PrefetchDisabled,
+	// cycle costs, ...) instead of being replaced wholesale. Intentionally
+	// zero fields use sentinels; see micro.NoSpeculation.
+	out.Micro = out.Micro.WithDefaults()
 	if out.AttackerView == nil {
 		out.AttackerView = micro.FullView
 	}
@@ -175,8 +180,18 @@ type Result struct {
 	Counterexamples     int
 	Inconclusive        int
 
+	// EncodeFallbacks counts programs whose A64 encode/decode round trip
+	// was inconsistent (the decoded program re-encodes to different words)
+	// and that therefore ran in their structured form.
+	EncodeFallbacks int
+
 	GenTime time.Duration // total test-case generation time
 	ExeTime time.Duration // total experiment execution time
+
+	// Queries counts solver queries issued during generation (sat + unsat +
+	// given-up); Queries/GenTime is the generation throughput tracked by
+	// BENCH_gen.json.
+	Queries int
 
 	// TTC is the time to the first counterexample (wall clock from the
 	// start of the campaign); Found reports whether one was found at all.
@@ -264,6 +279,7 @@ func (pl *Pipeline) Generator(e *Experiment, programSeed int64) *core.Generator 
 		Support:         e.Support,
 		MaxConflicts:    e.MaxConflicts,
 		Registers:       pl.Registers,
+		Legacy:          e.LegacySolver,
 	})
 }
 
@@ -360,6 +376,8 @@ type programResult struct {
 	experiments     int
 	counterexamples int
 	inconclusive    int
+	encodeFallbacks int
+	queries         int
 	genTime         time.Duration
 	exeTime         time.Duration
 	found           bool
@@ -367,22 +385,41 @@ type programResult struct {
 	records         []logdb.Record
 }
 
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
+	out := &programResult{}
 	// The pipeline's nominal input is binary code (the original framework
 	// transpiles binaries): round-trip the generated program through the
 	// A64 encoder so every campaign exercises real machine code. Programs
 	// outside the encodable subset (e.g. user templates with wide
-	// immediates) fall back to their structured form.
+	// immediates) fall back to their structured form, as does — counted in
+	// Result.EncodeFallbacks — a program whose decoding is inconsistent:
+	// substituting a decoded program that re-encodes differently would
+	// silently validate different code than was generated.
 	if words, err := arm.Encode(prog); err == nil {
 		if decoded, err := arm.Decode(prog.Name, words); err == nil {
-			prog = decoded
+			if rewords, err := arm.Encode(decoded); err == nil && wordsEqual(words, rewords) {
+				prog = decoded
+			} else {
+				out.encodeFallbacks++
+			}
 		}
 	}
 	pl, err := NewPipeline(prog, e.Model)
 	if err != nil {
 		return nil, err
 	}
-	out := &programResult{}
 	g := pl.Generator(e, e.Seed+int64(p)+1)
 	trainCache := map[int]*core.State{}
 	for t := 0; t < e.TestsPerProgram; t++ {
@@ -436,6 +473,7 @@ func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*prog
 			})
 		}
 	}
+	out.queries = g.QueriesSat + g.QueriesUnsat + g.QueriesFailed
 	return out, nil
 }
 
@@ -476,20 +514,32 @@ func Run(cfg Experiment) (*Result, error) {
 		}
 	} else {
 		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			runErr error
+			stopAt atomic.Int64 // lowest erroring program index so far
 		)
+		stopAt.Store(int64(len(progs)))
 		idxCh := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for p := range idxCh {
+					// After an error at index q, skip programs above q (their
+					// results would be discarded) but still run lower ones:
+					// indexes are handed out in order, so every index below q
+					// has been handed out and completes, which makes the
+					// reported error the lowest erroring index regardless of
+					// worker scheduling.
+					if int64(p) > stopAt.Load() {
+						continue
+					}
 					out, err := runProgram(&e, progs[p], p, start)
 					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = err
+					if err != nil && int64(p) < stopAt.Load() {
+						runErr = fmt.Errorf("scamv: program %d: %w", p, err)
+						stopAt.Store(int64(p))
 					}
 					outs[p] = out
 					mu.Unlock()
@@ -497,12 +547,15 @@ func Run(cfg Experiment) (*Result, error) {
 			}()
 		}
 		for p := range progs {
+			if int64(p) > stopAt.Load() {
+				break
+			}
 			idxCh <- p
 		}
 		close(idxCh)
 		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+		if runErr != nil {
+			return nil, runErr
 		}
 	}
 
@@ -515,6 +568,8 @@ func Run(cfg Experiment) (*Result, error) {
 		res.Experiments += out.experiments
 		res.Counterexamples += out.counterexamples
 		res.Inconclusive += out.inconclusive
+		res.EncodeFallbacks += out.encodeFallbacks
+		res.Queries += out.queries
 		res.GenTime += out.genTime
 		res.ExeTime += out.exeTime
 		if out.found {
