@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench-gen bench
+.PHONY: ci build vet test race bench-gen bench-campaign bench
 
 ci: build vet race bench-gen
 
@@ -21,6 +21,13 @@ race:
 # experiment, speedup). Fails if the incremental solver drops below 2x.
 bench-gen:
 	BENCH_GEN=1 $(GO) test -run TestWriteBenchGen -count=1 -v .
+
+# Campaign-engine benchmark: runs the MLine campaign (8 programs, parallel 4)
+# on the staged and monolithic engines and writes BENCH_campaign.json (wall
+# clock, per-stage busy/wait/stall). Fails if counts diverge or GenTime
+# regresses; the wall-clock speedup is asserted only on multi-core runners.
+bench-campaign:
+	BENCH_CAMPAIGN=1 $(GO) test -run TestWriteBenchCampaign -count=1 -v .
 
 # Full paper-table benchmark suite (one iteration each).
 bench:

@@ -1,6 +1,7 @@
 package scamv
 
 import (
+	"context"
 	"fmt"
 
 	"scamv/internal/arm"
@@ -38,9 +39,19 @@ type PolicyReport struct {
 // pairs. A nil Witness with LeakPossible=false means the search space is
 // exhausted — the program respects M1 even against the M2 attacker.
 func CheckPolicy(prog *arm.Program, model obs.ModelPair, seed int64) (*PolicyReport, error) {
+	return CheckPolicyContext(context.Background(), prog, model, seed)
+}
+
+// CheckPolicyContext is CheckPolicy under a context: the path-pair search
+// stops at cancellation with the context's error. The program is prepared
+// by the same Encode and Prepare stages the campaign engine runs — the A64
+// round trip first, then lift+symexec — so the analysis covers exactly the
+// binary code a campaign would execute.
+func CheckPolicyContext(ctx context.Context, prog *arm.Program, model obs.ModelPair, seed int64) (*PolicyReport, error) {
 	if !model.Refined() {
 		return nil, fmt.Errorf("scamv: CheckPolicy needs a refined model pair, got %s", model.Name())
 	}
+	prog, _ = encodeRoundTrip(prog)
 	pl, err := NewPipeline(prog, model)
 	if err != nil {
 		return nil, err
@@ -48,6 +59,9 @@ func CheckPolicy(prog *arm.Program, model obs.ModelPair, seed int64) (*PolicyRep
 	rep := &PolicyReport{}
 	for a := range pl.Paths {
 		for b := range pl.Paths {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rep.PairsChecked++
 			s := smt.New(smt.Options{Seed: seed})
 			s.Assert(core.PairRelation(pl.Paths[a], pl.Paths[b], true))

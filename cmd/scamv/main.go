@@ -32,7 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 2021, "campaign seed")
 		logPath  = flag.String("log", "", "append per-experiment JSON records to this file")
 		report   = flag.String("report", "", "analyse a previously written log file and exit")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "programs processed concurrently")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "per-stage worker budget (programs in flight)")
+		mono     = flag.Bool("monolithic", false, "disable the staged engine (no stage overlap or metrics; A/B baseline)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 	runPair := func(title string, unguided, refined scamv.Experiment) {
 		unguided.Log, refined.Log = db, db
 		unguided.Parallel, refined.Parallel = *parallel, *parallel
+		unguided.Monolithic, refined.Monolithic = *mono, *mono
 		fmt.Printf("== %s ==\n", title)
 		ru, err := scamv.Run(unguided)
 		if err != nil {
@@ -87,6 +89,7 @@ func main() {
 	runOne := func(title string, e scamv.Experiment) {
 		e.Log = db
 		e.Parallel = *parallel
+		e.Monolithic = *mono
 		fmt.Printf("== %s ==\n", title)
 		r, err := scamv.Run(e)
 		if err != nil {

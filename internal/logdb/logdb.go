@@ -7,6 +7,7 @@ package logdb
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -79,17 +80,23 @@ func (d *DB) Len() int {
 	return d.n
 }
 
-// Close flushes and closes the underlying file, if any.
+// Close flushes and closes the underlying file, if any. The file is closed
+// even when the flush fails, and both errors are propagated: a close error
+// after a clean flush can still mean the kernel failed to persist buffered
+// writes, so swallowing either would hide a truncated log.
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var ferr, cerr error
 	if err := d.w.Flush(); err != nil {
-		return fmt.Errorf("logdb: %w", err)
+		ferr = fmt.Errorf("logdb: flush: %w", err)
 	}
 	if d.closer != nil {
-		return d.closer.Close()
+		if err := d.closer.Close(); err != nil {
+			cerr = fmt.Errorf("logdb: close: %w", err)
+		}
 	}
-	return nil
+	return errors.Join(ferr, cerr)
 }
 
 // Load reads all records from a log file.

@@ -1,9 +1,12 @@
 package logdb
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -71,6 +74,81 @@ func TestLoadMissingFile(t *testing.T) {
 func TestBadLine(t *testing.T) {
 	if _, err := Read(bytes.NewBufferString("{\"experiment\":\"a\"}\nnot json\n")); err == nil {
 		t.Fatal("expected decode error")
+	}
+}
+
+// errCloser counts Close calls and fails them.
+type errCloser struct{ closed int }
+
+func (c *errCloser) Close() error {
+	c.closed++
+	return errors.New("close failed")
+}
+
+// errWriter fails every write, so the bufio flush fails.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestClosePropagatesCloseError(t *testing.T) {
+	// A clean flush must not swallow the underlying file's close error.
+	c := &errCloser{}
+	db := &DB{w: bufio.NewWriter(&bytes.Buffer{}), closer: c}
+	if err := db.Append(Record{Experiment: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Close()
+	if err == nil || !strings.Contains(err.Error(), "close failed") {
+		t.Fatalf("close error not propagated: %v", err)
+	}
+	if c.closed != 1 {
+		t.Fatalf("closer called %d times", c.closed)
+	}
+}
+
+func TestClosePropagatesBothErrors(t *testing.T) {
+	// A failing flush must still close the file, and both errors surface.
+	c := &errCloser{}
+	db := &DB{w: bufio.NewWriter(errWriter{}), closer: c}
+	if err := db.Append(Record{Experiment: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Close()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"disk full", "close failed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if c.closed != 1 {
+		t.Fatalf("file leaked: closer called %d times", c.closed)
+	}
+}
+
+func TestReadRejectsPartialFinalLine(t *testing.T) {
+	// A crash mid-append leaves a final line without its newline; the
+	// truncated JSON must be rejected, not silently dropped or misparsed.
+	var buf bytes.Buffer
+	db := NewWriter(&buf)
+	if err := db.Append(Record{Experiment: "ok", Verdict: "counterexample"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	partial := full + `{"experiment":"torn","verdict":"inco`
+	if _, err := Read(strings.NewReader(partial)); err == nil {
+		t.Fatal("partially-written final line must be rejected")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the torn line: %v", err)
+	}
+	// The intact prefix alone still reads back.
+	recs, err := Read(strings.NewReader(full))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("intact log: %v, %d records", err, len(recs))
 	}
 }
 

@@ -1,6 +1,7 @@
 package scamv
 
 import (
+	"context"
 	"fmt"
 
 	"scamv/internal/obs"
@@ -60,6 +61,13 @@ func (r *RepairReport) String() string {
 // and Refined fields are overridden per candidate. maxK bounds the search
 // (0 means the speculation window's worth of loads, 8).
 func RepairModel(base Experiment, maxK int) (*RepairReport, error) {
+	return RepairModelContext(context.Background(), base, maxK)
+}
+
+// RepairModelContext is RepairModel under a context. Each validation round
+// is a full staged-engine campaign (RunContext), so cancellation propagates
+// through every pipeline stage of the round in flight.
+func RepairModelContext(ctx context.Context, base Experiment, maxK int) (*RepairReport, error) {
 	if maxK <= 0 {
 		maxK = 8
 	}
@@ -77,7 +85,7 @@ func RepairModel(base Experiment, maxK int) (*RepairReport, error) {
 			e.Name = "repair"
 		}
 		e.Name = fmt.Sprintf("%s/K=%d", base.Name, k)
-		res, err := Run(e)
+		res, err := RunContext(ctx, e)
 		if err != nil {
 			return nil, fmt.Errorf("scamv: repair round K=%d: %w", k, err)
 		}

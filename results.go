@@ -7,7 +7,9 @@ import (
 )
 
 // FormatTable renders campaign results side by side in the layout of the
-// paper's Table 1: one column per campaign, one row per metric.
+// paper's Table 1: one column per campaign, one row per metric — followed,
+// for results produced by the staged engine, by one stage-metrics block per
+// campaign (the Result.Stages spine).
 func FormatTable(results ...*Result) string {
 	cols := make([][]string, 0, len(results)+1)
 	cols = append(cols, []string{
@@ -22,11 +24,13 @@ func FormatTable(results ...*Result) string {
 		"- Avg. Gen. time",
 		"- Avg. Exe. time",
 		"- T.T.C.",
+		"- First c.e.",
 	})
 	for _, r := range results {
-		ttc := "-"
+		ttc, first := "-", "-"
 		if r.Found {
 			ttc = fmtDur(r.TTC)
+			first = fmt.Sprintf("p%d/t%d", r.FirstCEProgram, r.FirstCETest)
 		}
 		cols = append(cols, []string{
 			r.Model,
@@ -40,6 +44,7 @@ func FormatTable(results ...*Result) string {
 			fmtDur(r.AvgGen()),
 			fmtDur(r.AvgExe()),
 			ttc,
+			first,
 		})
 	}
 	widths := make([]int, len(cols))
@@ -58,6 +63,56 @@ func FormatTable(results ...*Result) string {
 				sb.WriteString("  ")
 			}
 			fmt.Fprintf(&sb, "%-*s", widths[i], col[row])
+		}
+		sb.WriteString("\n")
+	}
+	for _, r := range results {
+		if len(r.Stages) > 0 {
+			sb.WriteString("\n")
+			sb.WriteString(FormatStages(r))
+		}
+	}
+	return sb.String()
+}
+
+// FormatStages renders one campaign's per-stage metrics: items in/out,
+// worker counts, busy time, input-starvation wait, and output backpressure
+// stall. The hot stage — the one to shard or cache next — is the one with
+// high busy time whose downstream neighbors show high wait.
+func FormatStages(r *Result) string {
+	if len(r.Stages) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stages[%s]:\n", r.Name)
+	rows := [][]string{{"stage", "workers", "in", "out", "skip", "busy", "wait", "stall"}}
+	for _, s := range r.Stages {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.Workers),
+			fmt.Sprintf("%d", s.In),
+			fmt.Sprintf("%d", s.Out),
+			fmt.Sprintf("%d", s.Skipped),
+			fmtDur(s.Busy),
+			fmtDur(s.Wait),
+			fmtDur(s.Stall),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		sb.WriteString(" ")
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
 		}
 		sb.WriteString("\n")
 	}
@@ -82,7 +137,8 @@ func fmtDur(d time.Duration) string {
 func (r *Result) Summary() string {
 	ttc := "no counterexample"
 	if r.Found {
-		ttc = fmt.Sprintf("first counterexample after %s", fmtDur(r.TTC))
+		ttc = fmt.Sprintf("first counterexample at p%d/t%d after %s",
+			r.FirstCEProgram, r.FirstCETest, fmtDur(r.TTC))
 	}
 	return fmt.Sprintf("%s: %d programs (%d w/ counterexamples), %d experiments, %d counterexamples, %d inconclusive, %s",
 		r.Name, r.Programs, r.ProgramsWithCounter, r.Experiments,

@@ -19,6 +19,7 @@
 package scamv
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"scamv/internal/logdb"
 	"scamv/internal/micro"
 	"scamv/internal/obs"
+	"scamv/internal/stage"
 	"scamv/internal/symexec"
 )
 
@@ -128,6 +130,12 @@ type Experiment struct {
 	// rework. Kept for A/B benchmarking (see core.Config.Legacy); campaigns
 	// should leave it false.
 	LegacySolver bool
+
+	// Monolithic disables the staged engine and runs the pre-staged
+	// program-level worker pool (no stage overlap, no Result.Stages
+	// metrics). Counts are identical either way; kept for A/B benchmarking
+	// (make bench-campaign). Campaigns should leave it false.
+	Monolithic bool
 }
 
 func (e *Experiment) platform() Platform {
@@ -195,8 +203,24 @@ type Result struct {
 
 	// TTC is the time to the first counterexample (wall clock from the
 	// start of the campaign); Found reports whether one was found at all.
+	// Wall clock varies with scheduling under Parallel > 1, so TTC is NOT
+	// deterministic per seed — FirstCEProgram/FirstCETest are.
 	TTC   time.Duration
 	Found bool
+
+	// FirstCEProgram and FirstCETest locate the first counterexample in
+	// campaign order: the lowest program index with a counterexample and
+	// the first distinguishing test index within it. Unlike the wall-clock
+	// TTC, this index is deterministic per seed regardless of Parallel.
+	// Both are -1 when Found is false.
+	FirstCEProgram int
+	FirstCETest    int
+
+	// Stages is the staged engine's metrics spine: one snapshot per
+	// pipeline stage (items in/out, busy time, queue-wait and backpressure
+	// time), in pipeline order. Empty when Monolithic is set. It tells
+	// future optimization work which stage to shard or cache next.
+	Stages []stage.Snapshot
 }
 
 // AvgGen returns the mean generation time per experiment.
@@ -369,9 +393,9 @@ func (pl *Pipeline) ExecuteTestCase(e *Experiment, tc *core.TestCase, train *cor
 	return verdict, nil
 }
 
-// Run executes a full experiment campaign.
-// runProgram pushes one generated program through the pipeline: test-case
-// generation, execution, classification. It is the unit of parallelism.
+// programResult is one program's contribution to the campaign Result,
+// produced by the Execute stage (or by runProgram on the monolithic path)
+// and merged in program order by Collect.
 type programResult struct {
 	experiments     int
 	counterexamples int
@@ -381,6 +405,7 @@ type programResult struct {
 	genTime         time.Duration
 	exeTime         time.Duration
 	found           bool
+	firstCETest     int // test index of the first counterexample, -1 if none
 	ttcWall         time.Duration
 	records         []logdb.Record
 }
@@ -397,39 +422,86 @@ func wordsEqual(a, b []uint32) bool {
 	return true
 }
 
-func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
-	out := &programResult{}
-	// The pipeline's nominal input is binary code (the original framework
-	// transpiles binaries): round-trip the generated program through the
-	// A64 encoder so every campaign exercises real machine code. Programs
-	// outside the encodable subset (e.g. user templates with wide
-	// immediates) fall back to their structured form, as does — counted in
-	// Result.EncodeFallbacks — a program whose decoding is inconsistent:
-	// substituting a decoded program that re-encodes differently would
-	// silently validate different code than was generated.
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer with
+// full avalanche, used to derive statistically independent seed streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noiseSeed derives the measurement-noise seed for test t of program p.
+// Each mixing round is a bijection, so two pairs agreeing in p get distinct
+// seeds for distinct t and vice versa; cross-pair collisions are a 2^-64
+// event. (The previous additive scheme seed^0x5eed + p*100000 + t*100
+// collided exactly: (p, t+1000) and (p+1, t) shared a seed once
+// TestsPerProgram reached 1000, silently correlating the noise of unrelated
+// experiments.)
+func noiseSeed(seed int64, p, t int) int64 {
+	h := splitmix64(uint64(seed) ^ 0x5eed)
+	h = splitmix64(h ^ uint64(p))
+	h = splitmix64(h ^ uint64(t))
+	return int64(h)
+}
+
+// encodeRoundTrip round-trips a generated program through the A64 encoder.
+// The pipeline's nominal input is binary code (the original framework
+// transpiles binaries), so every campaign exercises real machine code.
+// Programs outside the encodable subset (e.g. user templates with wide
+// immediates) fall back to their structured form, as does — reported via
+// the fallback flag and counted in Result.EncodeFallbacks — a program whose
+// decoding is inconsistent: substituting a decoded program that re-encodes
+// differently would silently validate different code than was generated.
+func encodeRoundTrip(prog *arm.Program) (_ *arm.Program, fallback bool) {
 	if words, err := arm.Encode(prog); err == nil {
 		if decoded, err := arm.Decode(prog.Name, words); err == nil {
 			if rewords, err := arm.Encode(decoded); err == nil && wordsEqual(words, rewords) {
-				prog = decoded
-			} else {
-				out.encodeFallbacks++
+				return decoded, false
 			}
+			return prog, true
 		}
 	}
-	pl, err := NewPipeline(prog, e.Model)
-	if err != nil {
-		return nil, err
-	}
+	return prog, false
+}
+
+// genOut is the TestGen stage's product for one program: the generated test
+// cases with their per-test generation times and the solver query count.
+type genOut struct {
+	tests   []*core.TestCase
+	durs    []time.Duration
+	genTime time.Duration
+	queries int
+}
+
+// generateTests is the TestGen stage body: it drives the refinement-guided
+// generator for program p until TestsPerProgram cases exist or the relation
+// is exhausted. Generation never depends on execution results, which is
+// what lets the staged engine overlap it with the Execute stage.
+func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
+	var out genOut
 	g := pl.Generator(e, e.Seed+int64(p)+1)
-	trainCache := map[int]*core.State{}
 	for t := 0; t < e.TestsPerProgram; t++ {
 		genStart := time.Now()
 		tc, ok := g.Next()
-		genDur := time.Since(genStart)
-		out.genTime += genDur
+		d := time.Since(genStart)
+		out.genTime += d
 		if !ok {
 			break
 		}
+		out.tests = append(out.tests, tc)
+		out.durs = append(out.durs, d)
+	}
+	out.queries = g.QueriesSat + g.QueriesUnsat + g.QueriesFailed
+	return out
+}
+
+// executeProgram is the Execute stage body: it runs every generated test
+// case of program p on the platform and classifies the verdicts.
+func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
+	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1}
+	trainCache := map[int]*core.State{}
+	for t, tc := range g.tests {
 		var train *core.State
 		if e.Speculative {
 			if cached, ok := trainCache[tc.PathA]; ok {
@@ -440,8 +512,7 @@ func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*prog
 			}
 		}
 		exeStart := time.Now()
-		verdict, err := pl.ExecuteTestCase(e, tc, train,
-			e.Seed^0x5eed+int64(p)*100000+int64(t)*100)
+		verdict, err := pl.ExecuteTestCase(e, tc, train, noiseSeed(e.Seed, p, t))
 		exeDur := time.Since(exeStart)
 		out.exeTime += exeDur
 		if err != nil {
@@ -453,6 +524,7 @@ func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*prog
 			out.counterexamples++
 			if !out.found {
 				out.found = true
+				out.firstCETest = t
 				out.ttcWall = time.Since(start)
 			}
 		case Inconclusive:
@@ -461,35 +533,119 @@ func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*prog
 		if e.Log != nil {
 			out.records = append(out.records, logdb.Record{
 				Experiment: e.Name,
-				Program:    prog.Name,
+				Program:    pl.Prog.Name,
 				TestIndex:  t,
 				PathA:      tc.PathA,
 				PathB:      tc.PathB,
 				Class:      tc.Class,
 				Verdict:    verdict.String(),
-				GenMicros:  genDur.Microseconds(),
+				GenMicros:  g.durs[t].Microseconds(),
 				ExeMicros:  exeDur.Microseconds(),
 				Diff:       tc.Diff(),
 			})
 		}
 	}
-	out.queries = g.QueriesSat + g.QueriesUnsat + g.QueriesFailed
 	return out, nil
 }
 
-// Run executes a full experiment campaign. With Parallel > 1, programs are
-// processed by a worker pool; all counts remain deterministic per seed
-// (programs are generated up front and results merged in program order),
-// while wall-clock TTC naturally varies with scheduling.
+// runProgram pushes one generated program through the whole pipeline
+// in-line: encode round trip, lift+symexec, test generation, execution.
+// It is the unit of parallelism of the monolithic engine, and it composes
+// exactly the same stage bodies the staged engine wires through channels —
+// which is what keeps the two engines seed-for-seed identical.
+func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
+	prog, fallback := encodeRoundTrip(prog)
+	pl, err := NewPipeline(prog, e.Model)
+	if err != nil {
+		return nil, err
+	}
+	out, err := executeProgram(e, pl, p, generateTests(e, pl, p), start)
+	if err != nil {
+		return nil, err
+	}
+	if fallback {
+		out.encodeFallbacks++
+	}
+	return out, nil
+}
+
+// mergeProgram folds one program's result into the campaign Result. Callers
+// must invoke it in ascending program order: that ordering is what makes
+// counts, the log record sequence, and the first-counterexample index
+// deterministic regardless of worker scheduling.
+func (res *Result) mergeProgram(e *Experiment, p int, out *programResult) error {
+	res.Programs++
+	res.Experiments += out.experiments
+	res.Counterexamples += out.counterexamples
+	res.Inconclusive += out.inconclusive
+	res.EncodeFallbacks += out.encodeFallbacks
+	res.Queries += out.queries
+	res.GenTime += out.genTime
+	res.ExeTime += out.exeTime
+	if out.found {
+		res.ProgramsWithCounter++
+		if !res.Found {
+			// First in program order: the deterministic index.
+			res.FirstCEProgram, res.FirstCETest = p, out.firstCETest
+		}
+		if !res.Found || out.ttcWall < res.TTC {
+			res.Found = true
+			res.TTC = out.ttcWall
+		}
+	}
+	if e.Log != nil {
+		for _, rec := range out.records {
+			if err := e.Log.Append(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes a full experiment campaign on the staged engine (see
+// RunContext). Counts are deterministic per seed regardless of Parallel;
+// only wall-clock times vary with scheduling.
 func Run(cfg Experiment) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes a full experiment campaign under a context: cancelling
+// ctx tears the pipeline down promptly and returns the context's error.
+//
+// By default the campaign runs on the staged engine (runStaged): explicit
+// pipeline stages connected by bounded channels, each with its own worker
+// pool, so test generation for program p+1 overlaps platform execution of
+// program p, with per-stage metrics in Result.Stages. Experiment.Monolithic
+// selects the pre-staged program-level worker pool instead; both engines
+// produce identical counts for a given seed.
+func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	e := cfg.WithDefaults()
 	res := &Result{
-		Name:       e.Name,
-		Model:      e.Model.Name(),
-		Refinement: refinementName(&e),
-		Coverage:   obs.SupportName(e.Support),
+		Name:           e.Name,
+		Model:          e.Model.Name(),
+		Refinement:     refinementName(&e),
+		Coverage:       obs.SupportName(e.Support),
+		FirstCEProgram: -1,
+		FirstCETest:    -1,
 	}
 	start := time.Now()
+	var err error
+	if e.Monolithic {
+		err = runMonolithic(ctx, &e, res, start)
+	} else {
+		err = runStaged(ctx, &e, res, start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runMonolithic is the pre-staged engine: a flat program-level worker pool
+// with an atomic stop protocol, kept for A/B benchmarking against the
+// staged engine (make bench-campaign).
+func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.Time) error {
 	progRng := rand.New(rand.NewSource(e.Seed))
 	progs := make([]*arm.Program, e.Programs)
 	for p := range progs {
@@ -506,9 +662,12 @@ func Run(cfg Experiment) (*Result, error) {
 	}
 	if workers <= 1 {
 		for p, prog := range progs {
-			out, err := runProgram(&e, prog, p, start)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out, err := runProgram(e, prog, p, start)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			outs[p] = out
 		}
@@ -532,10 +691,10 @@ func Run(cfg Experiment) (*Result, error) {
 					// has been handed out and completes, which makes the
 					// reported error the lowest erroring index regardless of
 					// worker scheduling.
-					if int64(p) > stopAt.Load() {
+					if int64(p) > stopAt.Load() || ctx.Err() != nil {
 						continue
 					}
-					out, err := runProgram(&e, progs[p], p, start)
+					out, err := runProgram(e, progs[p], p, start)
 					mu.Lock()
 					if err != nil && int64(p) < stopAt.Load() {
 						runErr = fmt.Errorf("scamv: program %d: %w", p, err)
@@ -547,7 +706,7 @@ func Run(cfg Experiment) (*Result, error) {
 			}()
 		}
 		for p := range progs {
-			if int64(p) > stopAt.Load() {
+			if int64(p) > stopAt.Load() || ctx.Err() != nil {
 				break
 			}
 			idxCh <- p
@@ -555,39 +714,23 @@ func Run(cfg Experiment) (*Result, error) {
 		close(idxCh)
 		wg.Wait()
 		if runErr != nil {
-			return nil, runErr
+			return runErr
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 
 	// Merge in program order: deterministic counts and log.
-	for _, out := range outs {
+	for p, out := range outs {
 		if out == nil {
 			continue
 		}
-		res.Programs++
-		res.Experiments += out.experiments
-		res.Counterexamples += out.counterexamples
-		res.Inconclusive += out.inconclusive
-		res.EncodeFallbacks += out.encodeFallbacks
-		res.Queries += out.queries
-		res.GenTime += out.genTime
-		res.ExeTime += out.exeTime
-		if out.found {
-			res.ProgramsWithCounter++
-			if !res.Found || out.ttcWall < res.TTC {
-				res.Found = true
-				res.TTC = out.ttcWall
-			}
-		}
-		if e.Log != nil {
-			for _, rec := range out.records {
-				if err := e.Log.Append(rec); err != nil {
-					return nil, err
-				}
-			}
+		if err := res.mergeProgram(e, p, out); err != nil {
+			return err
 		}
 	}
-	return res, nil
+	return nil
 }
 
 func refinementName(e *Experiment) string {

@@ -336,6 +336,14 @@ func TestVerdictString(t *testing.T) {
 		Inconclusive.String() != "inconclusive" {
 		t.Error("verdict strings")
 	}
+	// Out-of-range values must render diagnosably, not panic or alias a
+	// real verdict (they can appear when decoding a corrupted log).
+	if got := Verdict(42).String(); got != "verdict(42)" {
+		t.Errorf("out-of-range verdict: %q", got)
+	}
+	if got := Verdict(-1).String(); got != "verdict(-1)" {
+		t.Errorf("negative verdict: %q", got)
+	}
 }
 
 func TestCampaignMTimeShape(t *testing.T) {

@@ -1,0 +1,139 @@
+package scamv
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scamv/internal/arm"
+	"scamv/internal/stage"
+)
+
+// This file wires the campaign as an explicit staged pipeline over
+// internal/stage, mirroring the paper's Fig. 1 flow:
+//
+//	proggen → encode → prepare (lift+symexec) → testgen → execute → collect
+//
+// Every arrow is a bounded channel (backpressure), every box has its own
+// worker pool, and every item is tagged with its program index so Collect
+// merges results in program order — the determinism-by-ordering contract
+// that keeps staged counts seed-for-seed identical to the monolithic
+// engine while test generation for program p+1 overlaps execution of
+// program p.
+
+// Payload types flowing between stages. The program index rides inside the
+// payload as well as in the item tag, because Stage.Run only sees the
+// payload.
+type stageProg struct {
+	p        int
+	prog     *arm.Program
+	fallback bool
+}
+
+type stagePrepared struct {
+	p        int
+	pl       *Pipeline
+	fallback bool
+}
+
+type stageGenned struct {
+	p        int
+	pl       *Pipeline
+	gen      genOut
+	fallback bool
+}
+
+// stageWorkers derives per-stage worker counts and the channel buffer from
+// Experiment.Parallel. Lifting+symexec, test generation, and execution are
+// the heavy stages and get the full budget; the encode round trip is cheap
+// and gets half.
+func stageWorkers(e *Experiment) (heavy, light, buf int) {
+	heavy = e.Parallel
+	if heavy < 1 {
+		heavy = 1
+	}
+	if heavy > e.Programs && e.Programs > 0 {
+		heavy = e.Programs
+	}
+	light = (heavy + 1) / 2
+	return heavy, light, heavy
+}
+
+// runStaged executes the campaign on the staged engine.
+func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time) error {
+	heavy, light, buf := stageWorkers(e)
+	c := stage.NewCoord(ctx)
+	defer c.Cancel()
+
+	// ProgramGen: single sequential producer owning the template RNG, so
+	// the program sequence is identical to the monolithic engine's.
+	progRng := rand.New(rand.NewSource(e.Seed))
+	progs := stage.Source(c, "proggen", buf, e.Programs,
+		func(_ context.Context, p int) (stageProg, error) {
+			return stageProg{p: p, prog: e.Template.Generate(progRng, p)}, nil
+		})
+
+	// Encode: A64 machine-code round trip (cheap, light pool).
+	encoded := stage.Attach(c, stage.Func[stageProg, stageProg]{
+		StageName: "encode",
+		F: func(_ context.Context, in stageProg) (stageProg, error) {
+			in.prog, in.fallback = encodeRoundTrip(in.prog)
+			return in, nil
+		},
+	}, light, buf, progs)
+
+	// Prepare: lift to BIR, instrument, symbolically execute (NewPipeline).
+	prepared := stage.Attach(c, stage.Func[stageProg, stagePrepared]{
+		StageName: "prepare",
+		F: func(_ context.Context, in stageProg) (stagePrepared, error) {
+			pl, err := NewPipeline(in.prog, e.Model)
+			if err != nil {
+				return stagePrepared{}, err
+			}
+			return stagePrepared{p: in.p, pl: pl, fallback: in.fallback}, nil
+		},
+	}, heavy, buf, encoded)
+
+	// TestGen: refinement-guided test-case generation (core.Generator).
+	genned := stage.Attach(c, stage.Func[stagePrepared, stageGenned]{
+		StageName: "testgen",
+		F: func(_ context.Context, in stagePrepared) (stageGenned, error) {
+			return stageGenned{p: in.p, pl: in.pl, gen: generateTests(e, in.pl, in.p), fallback: in.fallback}, nil
+		},
+	}, heavy, buf, prepared)
+
+	// Execute: run every test case on the Platform and classify verdicts.
+	executed := stage.Attach(c, stage.Func[stageGenned, *programResult]{
+		StageName: "execute",
+		F: func(_ context.Context, in stageGenned) (*programResult, error) {
+			out, err := executeProgram(e, in.pl, in.p, in.gen, start)
+			if err != nil {
+				return nil, err
+			}
+			if in.fallback {
+				out.encodeFallbacks++
+			}
+			return out, nil
+		},
+	}, heavy, buf, genned)
+
+	// Collect: merge per-program results — counts, log records, the
+	// first-counterexample index — in strict program order.
+	err := stage.Collect(c, "collect", executed, func(it stage.Item[*programResult]) error {
+		if it.Err != nil {
+			// Failed or skipped item: the coordinator already recorded the
+			// lowest-index failure; nothing to merge.
+			return nil
+		}
+		return res.mergeProgram(e, it.Index, it.Val)
+	})
+	res.Stages = c.Snapshots()
+	if err != nil {
+		return err
+	}
+	if p, ferr := c.FirstErr(); ferr != nil {
+		return fmt.Errorf("scamv: program %d: %w", p, ferr)
+	}
+	return ctx.Err()
+}

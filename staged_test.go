@@ -1,0 +1,176 @@
+package scamv
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"scamv/internal/gen"
+)
+
+// TestStagedMatchesMonolithicGoldenMLine is the acceptance gate of the
+// staged-engine rework: seed-for-seed identical campaign counts between the
+// monolithic worker pool and the staged pipeline on the golden MLine
+// campaign (the BENCH_gen.json configuration), sequentially and with
+// stage overlap at Parallel = 4.
+func TestStagedMatchesMonolithicGoldenMLine(t *testing.T) {
+	base := benchGenCampaign(false)
+	base.Programs = 2 // keep the default test run fast; bench-campaign runs it large
+	for _, parallel := range []int{1, 4} {
+		mono := base
+		mono.Monolithic = true
+		mono.Parallel = parallel
+		rm, err := Run(mono)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged := base
+		staged.Parallel = parallel
+		rs, err := Run(staged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rm.Programs != rs.Programs || rm.Experiments != rs.Experiments ||
+			rm.Counterexamples != rs.Counterexamples || rm.Inconclusive != rs.Inconclusive ||
+			rm.Queries != rs.Queries || rm.ProgramsWithCounter != rs.ProgramsWithCounter ||
+			rm.EncodeFallbacks != rs.EncodeFallbacks {
+			t.Errorf("parallel=%d: engines diverge:\nmonolithic %+v\nstaged     %+v", parallel, rm, rs)
+		}
+		if rm.Found != rs.Found || rm.FirstCEProgram != rs.FirstCEProgram || rm.FirstCETest != rs.FirstCETest {
+			t.Errorf("parallel=%d: first-counterexample index diverges: p%d/t%d vs p%d/t%d",
+				parallel, rm.FirstCEProgram, rm.FirstCETest, rs.FirstCEProgram, rs.FirstCETest)
+		}
+		if len(rm.Stages) != 0 {
+			t.Error("monolithic engine must not report stage metrics")
+		}
+		if len(rs.Stages) == 0 {
+			t.Error("staged engine must report stage metrics")
+		}
+	}
+}
+
+// TestStagesPopulated checks the metrics spine: every pipeline stage
+// appears in order, item counts balance, and FormatTable renders the block.
+func TestStagesPopulated(t *testing.T) {
+	_, refined := MCtExperiments(gen.TemplateA{}, 4, 6, 11)
+	refined.Parallel = 3
+	r, err := Run(refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"proggen", "encode", "prepare", "testgen", "execute", "collect"}
+	if len(r.Stages) != len(want) {
+		t.Fatalf("stages: %+v", r.Stages)
+	}
+	for i, name := range want {
+		s := r.Stages[i]
+		if s.Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, s.Name, name)
+		}
+		if s.Out != int64(r.Programs) {
+			t.Errorf("stage %s emitted %d items, want %d", name, s.Out, r.Programs)
+		}
+		if s.Skipped != 0 || s.Failed != 0 {
+			t.Errorf("stage %s: unexpected skips/failures: %+v", name, s)
+		}
+	}
+	// The heavy stages must account for real work.
+	for _, i := range []int{3, 4} {
+		if r.Stages[i].Busy <= 0 {
+			t.Errorf("stage %s reports no busy time", r.Stages[i].Name)
+		}
+	}
+	out := FormatTable(r)
+	for _, wantStr := range []string{"stages[", "proggen", "testgen", "execute", "busy", "wait", "First c.e."} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("FormatTable missing %q:\n%s", wantStr, out)
+		}
+	}
+}
+
+// TestRunContextCancelled: a cancelled context aborts the campaign with the
+// context's error instead of a partial result.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, refined := MCtExperiments(gen.TemplateA{}, 8, 10, 11)
+	if _, err := RunContext(ctx, refined); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The monolithic engine honors cancellation too.
+	refined.Monolithic = true
+	if _, err := RunContext(ctx, refined); !errors.Is(err, context.Canceled) {
+		t.Fatalf("monolithic err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNoiseSeedNoCollisions is the regression test for the additive
+// noise-seed scheme: the old derivation seed^0x5eed + p*100000 + t*100
+// collided exactly once TestsPerProgram reached 1000 ((p, t+1000) and
+// (p+1, t) shared a seed); the splitmix64 derivation must keep every
+// (program, test) stream distinct across a realistic campaign envelope.
+func TestNoiseSeedNoCollisions(t *testing.T) {
+	const seed, programs, tests = 2021, 128, 2048
+	oldScheme := func(p, t int) int64 { return seed ^ 0x5eed + int64(p)*100000 + int64(t)*100 }
+	if oldScheme(0, 1000) != oldScheme(1, 0) {
+		t.Fatal("collision premise gone: the old scheme should collide at t=1000")
+	}
+	seen := make(map[int64][2]int, programs*tests)
+	for p := 0; p < programs; p++ {
+		for tc := 0; tc < tests; tc++ {
+			s := noiseSeed(seed, p, tc)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("noiseSeed collision: (p%d,t%d) and (p%d,t%d) share %#x",
+					prev[0], prev[1], p, tc, s)
+			}
+			seen[s] = [2]int{p, tc}
+		}
+	}
+	// Repetition offsets (±2*Repeats around the base) must not alias the
+	// base seeds of neighbouring tests either.
+	for tc := 0; tc < 100; tc++ {
+		base := noiseSeed(seed, 0, tc)
+		for rep := int64(1); rep <= 20; rep++ {
+			if _, dup := seen[base+rep]; dup {
+				t.Fatalf("repetition stream of t%d aliases another test's base seed", tc)
+			}
+		}
+	}
+}
+
+// TestFirstCounterexampleDeterministic: the (program, test) index of the
+// first counterexample must be identical across runs and Parallel settings,
+// unlike the wall-clock TTC.
+func TestFirstCounterexampleDeterministic(t *testing.T) {
+	_, refined := MCtExperiments(gen.TemplateA{}, 6, 8, 17)
+	seq, err := Run(refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Found {
+		t.Fatal("refined Template A campaign must find a counterexample")
+	}
+	par := refined
+	par.Parallel = 4
+	pr, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.FirstCEProgram != pr.FirstCEProgram || seq.FirstCETest != pr.FirstCETest {
+		t.Errorf("first-counterexample index not deterministic: p%d/t%d vs p%d/t%d",
+			seq.FirstCEProgram, seq.FirstCETest, pr.FirstCEProgram, pr.FirstCETest)
+	}
+	if seq.FirstCEProgram < 0 || seq.FirstCETest < 0 {
+		t.Errorf("found campaign must have a non-negative index, got p%d/t%d",
+			seq.FirstCEProgram, seq.FirstCETest)
+	}
+	if !strings.Contains(seq.Summary(), "first counterexample at p") {
+		t.Errorf("summary missing the index: %s", seq.Summary())
+	}
+	// Unfound campaigns render "-" instead of an index.
+	unfound := &Result{FirstCEProgram: -1, FirstCETest: -1}
+	if strings.Contains(FormatTable(unfound), "p-1") {
+		t.Error("unfound campaign must render '-' for the first-c.e. cell")
+	}
+}
