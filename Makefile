@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench-gen bench-campaign bench
+.PHONY: ci build vet test race fuzz-smoke bench-gen bench-campaign bench
 
 ci: build vet race bench-gen
 
@@ -15,6 +16,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short coverage-guided fuzzing pass over the four differential oracles
+# (CDCL vs brute force, SMT model soundness, bitblast vs evaluator,
+# lifter+symexec vs simulator). Each target gets FUZZTIME of wall clock on
+# top of replaying the checked-in corpus under internal/oracle/testdata.
+fuzz-smoke:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzSATOracle$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzSMTModelSoundness$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzBitblastVsEval$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzLifterVsMicro$$' -fuzztime $(FUZZTIME)
 
 # Generation-throughput benchmark: runs the MLine campaign in incremental
 # and legacy solver modes and writes BENCH_gen.json (queries/s, GenTime per

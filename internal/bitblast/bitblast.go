@@ -206,6 +206,12 @@ func (b *Blaster) VarValue(name string) uint64 {
 	return b.litsValue(bits)
 }
 
+// Value reads the model word of a blasted literal vector (as returned by
+// BV), LSB first. Callers cross-checking the circuit against direct
+// evaluation (internal/oracle) use it to observe arbitrary encoded
+// subexpressions, not just named variables.
+func (b *Blaster) Value(bits []sat.Lit) uint64 { return b.litsValue(bits) }
+
 func (b *Blaster) litsValue(bits []sat.Lit) uint64 {
 	var v uint64
 	for i, l := range bits {

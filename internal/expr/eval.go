@@ -101,6 +101,25 @@ func (a *Assignment) evalRead(m MemExpr, addr uint64) uint64 {
 	panic(fmt.Sprintf("expr: evalRead on %T", m))
 }
 
+// EvalMem materializes the concrete memory denoted by m under a: the
+// innermost memory variable's image overlaid with every store along the
+// chain, each address and value evaluated concretely. Unassigned memory
+// variables behave as all-zero memories.
+func (a *Assignment) EvalMem(m MemExpr) *MemModel {
+	switch v := m.(type) {
+	case *MemVar:
+		if mm := a.Mem[v.Name]; mm != nil {
+			return mm.Clone()
+		}
+		return NewMemModel(0)
+	case *Store:
+		mm := a.EvalMem(v.M)
+		mm.Set(a.EvalBV(v.Addr), a.EvalBV(v.Val))
+		return mm
+	}
+	panic(fmt.Sprintf("expr: EvalMem on %T", m))
+}
+
 // EvalBool evaluates a boolean expression under a.
 func (a *Assignment) EvalBool(e BoolExpr) bool {
 	switch v := e.(type) {

@@ -203,3 +203,36 @@ func TestLiftFallThroughBlocks(t *testing.T) {
 		t.Errorf("fall-through result: %d", got)
 	}
 }
+
+// TestCondExprMatchesCondHolds cross-checks the two condition semantics in
+// the system: the symbolic guard built over the ghost compare registers
+// (lifter.CondExpr, consumed by the symbolic executor) and the concrete
+// predicate the simulator evaluates (arm.Cond.Holds). A divergence here
+// would make every conditional branch lift incorrectly.
+func TestCondExprMatchesCondHolds(t *testing.T) {
+	conds := []arm.Cond{arm.EQ, arm.NE, arm.HS, arm.LO, arm.HI, arm.LS,
+		arm.GE, arm.LT, arm.GT, arm.LE}
+	edge := []uint64{0, 1, 2, 0x7fffffffffffffff, 0x8000000000000000,
+		0x8000000000000001, ^uint64(0), ^uint64(0) - 1}
+	var pairs [][2]uint64
+	for _, a := range edge {
+		for _, b := range edge {
+			pairs = append(pairs, [2]uint64{a, b})
+		}
+	}
+	for _, c := range conds {
+		guard := CondExpr(c)
+		inverted := CondExpr(c.Invert())
+		for _, p := range pairs {
+			a := expr.NewAssignment()
+			a.BV[CmpA], a.BV[CmpB] = p[0], p[1]
+			want := c.Holds(p[0], p[1])
+			if got := a.EvalBool(guard); got != want {
+				t.Fatalf("%v(%#x, %#x): CondExpr %v, Holds %v", c, p[0], p[1], got, want)
+			}
+			if got := a.EvalBool(inverted); got == want {
+				t.Fatalf("%v(%#x, %#x): inverted guard agrees with original", c, p[0], p[1])
+			}
+		}
+	}
+}

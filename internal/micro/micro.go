@@ -500,6 +500,18 @@ func (m *Machine) ReadMem(addr uint64) uint64 {
 // WriteMem sets the memory word at addr.
 func (m *Machine) WriteMem(addr, v uint64) { m.mem[addr] = v }
 
+// MemSnapshot copies the architectural memory image — the initial words
+// installed by LoadState overlaid with every store executed since — as a
+// concrete memory model. The differential oracle compares it against the
+// symbolic executor's final memory.
+func (m *Machine) MemSnapshot() *expr.MemModel {
+	mm := expr.NewMemModel(m.memDf)
+	for a, v := range m.mem {
+		mm.Set(a, v)
+	}
+	return mm
+}
+
 // ResetMicro restores cold cache and prefetcher state (the platform module
 // clears the cache before every execution, §6.1) without touching the
 // branch predictor, so that predictor training survives into the measured

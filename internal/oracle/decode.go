@@ -1,0 +1,261 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scamv/internal/arm"
+	"scamv/internal/expr"
+	"scamv/internal/sat"
+)
+
+// byteReader drives the structured generators from a fuzzer-mutated byte
+// stream. An exhausted reader yields zeros, so every byte slice decodes to
+// some valid structure and corpus mutation never produces a parse error —
+// the fuzzer explores the space of CNFs, expressions and programs, not the
+// space of framing bugs.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteReader) byte() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	c := b.data[b.pos]
+	b.pos++
+	return c
+}
+
+func (b *byteReader) intn(n int) int { return int(b.byte()) % n }
+
+func (b *byteReader) word() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b.byte())
+	}
+	return v
+}
+
+// DecodeCNF decodes a small CNF plus assumption literals from fuzz data:
+// 3..12 variables, up to 24 clauses of 1..4 literals, up to 3 assumptions.
+// The shapes stay within BruteSolve range by construction.
+func DecodeCNF(data []byte) (nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) {
+	br := &byteReader{data: data}
+	nVars = 3 + br.intn(10)
+	nClauses := 1 + br.intn(24)
+	for i := 0; i < nClauses; i++ {
+		width := 1 + br.intn(4)
+		clause := make([]sat.Lit, width)
+		for j := range clause {
+			clause[j] = sat.MkLit(br.intn(nVars), br.intn(2) == 1)
+		}
+		clauses = append(clauses, clause)
+	}
+	for i, n := 0, br.intn(4); i < n; i++ {
+		assumptions = append(assumptions, sat.MkLit(br.intn(nVars), br.intn(2) == 1))
+	}
+	return nVars, clauses, assumptions
+}
+
+// exprVars are the base names of generated input variables. Names are
+// width-qualified ("a8", "b64", ...) because the blaster pins one width per
+// name, while one generated expression mixes widths through extracts and
+// extensions.
+var exprVars = [...]string{"a", "b", "c"}
+
+func genVar(src intSource, w uint) *expr.Var {
+	return expr.NewVar(fmt.Sprintf("%s%d", exprVars[src.intn(len(exprVars))], w), w)
+}
+
+// genBVExpr generates a random bitvector expression of the given width over
+// exprVars, at most depth operators deep. All of the blaster's bitvector
+// node types are reachable: binary and unary operators, extracts,
+// extensions and ite over comparisons.
+func genBVExpr(src intSource, w uint, depth int) expr.BVExpr {
+	if depth <= 0 || src.intn(5) == 0 {
+		if src.intn(4) == 0 {
+			return expr.NewConst(src.word(), w)
+		}
+		return genVar(src, w)
+	}
+	switch src.intn(13) {
+	case 0:
+		return expr.Add(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 1:
+		return expr.Sub(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 2:
+		return expr.Mul(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 3:
+		return expr.And(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 4:
+		return expr.Or(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 5:
+		return expr.Xor(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 6:
+		return expr.Shl(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 7:
+		return expr.Lshr(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 8:
+		return expr.Ashr(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 9:
+		if src.intn(2) == 0 {
+			return expr.Not(genBVExpr(src, w, depth-1))
+		}
+		return expr.Neg(genBVExpr(src, w, depth-1))
+	case 10:
+		// Extract a w-bit slice out of a wider value.
+		if w < 64 {
+			wide := w + uint(src.intn(int(64-w)+1))
+			lo := uint(src.intn(int(wide-w) + 1))
+			return expr.NewExtract(lo+w-1, lo, genBVExpr(src, wide, depth-1))
+		}
+		return genBVExpr(src, w, depth-1)
+	case 11:
+		// Extend a narrower value up to w.
+		if w > 1 {
+			narrow := 1 + uint(src.intn(int(w)))
+			kind := expr.ZeroExt
+			if src.intn(2) == 0 {
+				kind = expr.SignExt
+			}
+			return expr.NewExt(kind, genBVExpr(src, narrow, depth-1), w)
+		}
+		return genBVExpr(src, w, depth-1)
+	default:
+		return expr.NewIte(genBoolExpr(src, w, depth-1),
+			genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	}
+}
+
+// genBoolExpr generates a random boolean expression whose bitvector leaves
+// have the given width.
+func genBoolExpr(src intSource, w uint, depth int) expr.BoolExpr {
+	if depth <= 0 {
+		return expr.Eq(genBVExpr(src, w, 0), genBVExpr(src, w, 0))
+	}
+	switch src.intn(8) {
+	case 0:
+		return expr.Eq(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 1:
+		return expr.Ult(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 2:
+		return expr.Ule(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 3:
+		return expr.Slt(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 4:
+		return expr.Sle(genBVExpr(src, w, depth-1), genBVExpr(src, w, depth-1))
+	case 5:
+		return expr.NotB(genBoolExpr(src, w, depth-1))
+	case 6:
+		return expr.AndB(genBoolExpr(src, w, depth-1), genBoolExpr(src, w, depth-1))
+	default:
+		return expr.OrB(genBoolExpr(src, w, depth-1), genBoolExpr(src, w, depth-1))
+	}
+}
+
+var exprWidths = [...]uint{1, 7, 8, 16, 32, 64}
+
+// DecodeExprCheck decodes a bitvector expression, a boolean expression and
+// a concrete assignment for every input variable from fuzz data.
+func DecodeExprCheck(data []byte) (expr.BVExpr, expr.BoolExpr, *expr.Assignment) {
+	br := &byteReader{data: data}
+	w := exprWidths[br.intn(len(exprWidths))]
+	bv := genBVExpr(br, w, 1+br.intn(4))
+	bo := genBoolExpr(br, w, 1+br.intn(3))
+	vars := make(map[string]uint)
+	varWidths(bv, vars)
+	varWidths(bo, vars)
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	a := expr.NewAssignment()
+	for _, name := range names {
+		a.BV[name] = br.word()
+	}
+	return bv, bo, a
+}
+
+// DecodeSMTCheck decodes a set of bitvector assertions over three 64-bit
+// variables and one memory, with read-over-write chains and repeated reads at
+// symbolic addresses — the shapes that exercise the solver's Ackermann read
+// elimination. Multiplication is deliberately absent: a 64-bit blasted
+// multiplier dominates per-exec time without adding memory-theory coverage
+// (the bitblast fuzz target covers Mul at narrow widths instead).
+func DecodeSMTCheck(data []byte) []expr.BoolExpr {
+	br := &byteReader{data: data}
+	var mem expr.MemExpr = expr.NewMemVar("MEM")
+	vars := [...]expr.BVExpr{expr.V64("x"), expr.V64("y"), expr.V64("z")}
+	var bv func(depth int) expr.BVExpr
+	bv = func(depth int) expr.BVExpr {
+		if depth <= 0 || br.intn(4) == 0 {
+			if br.intn(3) == 0 {
+				return expr.C64(uint64(br.intn(1 << 8)))
+			}
+			return vars[br.intn(len(vars))]
+		}
+		switch br.intn(6) {
+		case 0:
+			return expr.Add(bv(depth-1), bv(depth-1))
+		case 1:
+			return expr.Sub(bv(depth-1), bv(depth-1))
+		case 2:
+			return expr.And(bv(depth-1), bv(depth-1))
+		case 3:
+			return expr.Or(bv(depth-1), bv(depth-1))
+		case 4:
+			return expr.Xor(bv(depth-1), bv(depth-1))
+		default:
+			return expr.NewRead(mem, bv(depth-1))
+		}
+	}
+	for i, n := 0, br.intn(3); i < n; i++ {
+		mem = expr.NewStore(mem, bv(1), bv(1))
+	}
+	fs := make([]expr.BoolExpr, 0, 4)
+	for i, n := 0, 1+br.intn(4); i < n; i++ {
+		l, r := bv(2), bv(2)
+		switch br.intn(3) {
+		case 0:
+			fs = append(fs, expr.Eq(l, r))
+		case 1:
+			fs = append(fs, expr.Ult(l, r))
+		default:
+			fs = append(fs, expr.Ule(l, r))
+		}
+	}
+	return fs
+}
+
+// DecodeProgram decodes a structured program plus an initial architectural
+// state from fuzz data, using the same generator as RandomProgram.
+func DecodeProgram(data []byte) (*arm.Program, map[string]uint64, *expr.MemModel) {
+	br := &byteReader{data: data}
+	cfg := DefaultGen()
+	p := genProgram(br, cfg)
+	regs, mem := genState(br, cfg)
+	return p, regs, mem
+}
+
+// RandomCNF draws a brute-forceable CNF from a seeded RNG (the rand-driven
+// twin of DecodeCNF, for deterministic sweeps in tests).
+func RandomCNF(r *rand.Rand, maxVars, maxClauses int) (nVars int, clauses [][]sat.Lit) {
+	if maxVars > BruteMaxVars {
+		maxVars = BruteMaxVars
+	}
+	nVars = 3 + r.Intn(maxVars-2)
+	nClauses := 1 + r.Intn(maxClauses)
+	for i := 0; i < nClauses; i++ {
+		width := 1 + r.Intn(4)
+		clause := make([]sat.Lit, width)
+		for j := range clause {
+			clause[j] = sat.MkLit(r.Intn(nVars), r.Intn(2) == 1)
+		}
+		clauses = append(clauses, clause)
+	}
+	return nVars, clauses
+}

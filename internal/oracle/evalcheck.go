@@ -1,0 +1,119 @@
+package oracle
+
+import (
+	"fmt"
+
+	"scamv/internal/bitblast"
+	"scamv/internal/expr"
+	"scamv/internal/sat"
+)
+
+// varWidths collects every bitvector variable of e with its width.
+func varWidths(e expr.Expr, out map[string]uint) {
+	switch v := e.(type) {
+	case *expr.Const, *expr.BoolConst, *expr.BoolVar, *expr.MemVar:
+	case *expr.Var:
+		out[v.Name] = v.W
+	case *expr.Bin:
+		varWidths(v.X, out)
+		varWidths(v.Y, out)
+	case *expr.Un:
+		varWidths(v.X, out)
+	case *expr.Extract:
+		varWidths(v.X, out)
+	case *expr.Ext:
+		varWidths(v.X, out)
+	case *expr.Ite:
+		varWidths(v.Cond, out)
+		varWidths(v.Then, out)
+		varWidths(v.Else, out)
+	case *expr.Cmp:
+		varWidths(v.X, out)
+		varWidths(v.Y, out)
+	case *expr.Nary:
+		for _, a := range v.Args {
+			varWidths(a, out)
+		}
+	case *expr.NotBExpr:
+		varWidths(v.X, out)
+	case *expr.Read:
+		varWidths(v.M, out)
+		varWidths(v.Addr, out)
+	case *expr.Store:
+		varWidths(v.M, out)
+		varWidths(v.Addr, out)
+		varWidths(v.Val, out)
+	default:
+		panic(fmt.Sprintf("oracle: varWidths on %T", e))
+	}
+}
+
+// pinVars asserts name = a.BV[name] for every variable of the expressions,
+// so the SAT search has exactly one choice per input bit.
+func pinVars(bl *bitblast.Blaster, a *expr.Assignment, es ...expr.Expr) {
+	vars := make(map[string]uint)
+	for _, e := range es {
+		varWidths(e, vars)
+	}
+	for name, w := range vars {
+		bl.Assert(expr.Eq(expr.NewVar(name, w), expr.NewConst(a.BV[name], w)))
+	}
+}
+
+// DiffBlast bit-blasts `blasted` with every input pinned to its value in a,
+// solves, and compares the circuit's output word with the direct 64-bit
+// evaluation of `reference` under the same assignment. For checking the
+// blaster itself the two expressions are the same (see EvalVsBlast);
+// passing different expressions turns the check into a semantic-equivalence
+// probe at one point, which the teeth tests use to inject mutations.
+func DiffBlast(blasted, reference expr.BVExpr, a *expr.Assignment) error {
+	s := sat.New(1)
+	bl := bitblast.New(s)
+	pinVars(bl, a, blasted, reference)
+	bits := bl.BV(blasted)
+	if st := s.Solve(); st != sat.Sat {
+		return fmt.Errorf("oracle: pinned circuit unexpectedly %v for %s", st, blasted)
+	}
+	got := bl.Value(bits)
+	want := a.EvalBV(reference)
+	if got != want {
+		return fmt.Errorf("oracle: bitblast %#x vs evaluator %#x for %s under %v", got, want, blasted, a.BV)
+	}
+	return nil
+}
+
+// EvalVsBlast cross-checks the bit-blaster against direct evaluation of e
+// at the concrete point a.
+func EvalVsBlast(e expr.BVExpr, a *expr.Assignment) error { return DiffBlast(e, e, a) }
+
+// EvalVsBlastBool is the boolean-sorted variant: the blasted literal of e
+// must agree with EvalBool at the point a.
+func EvalVsBlastBool(e expr.BoolExpr, a *expr.Assignment) error {
+	s := sat.New(1)
+	bl := bitblast.New(s)
+	pinVars(bl, a, e)
+	l := bl.Bool(e)
+	if st := s.Solve(); st != sat.Sat {
+		return fmt.Errorf("oracle: pinned circuit unexpectedly %v for %s", st, e)
+	}
+	got := s.Value(l.Var()) != l.Sign()
+	if want := a.EvalBool(e); got != want {
+		return fmt.Errorf("oracle: bitblast %v vs evaluator %v for %s under %v", got, want, e, a.BV)
+	}
+	return nil
+}
+
+// CheckSMTModel validates a model returned by internal/smt against the
+// original formulas as they were asserted — memory reads, stores and all —
+// by concrete evaluation. A sound solver's Sat model must satisfy every
+// asserted formula; a failure means read elimination, Ackermann expansion,
+// bit-blasting or the CDCL core miscarried somewhere between the assertion
+// and the model.
+func CheckSMTModel(model *expr.Assignment, formulas ...expr.BoolExpr) error {
+	for i, f := range formulas {
+		if !model.EvalBool(f) {
+			return fmt.Errorf("oracle: model falsifies asserted formula %d: %s", i, f)
+		}
+	}
+	return nil
+}

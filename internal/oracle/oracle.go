@@ -1,0 +1,36 @@
+// Package oracle is the standing correctness harness of the solver stack:
+// independent reference semantics and differential checks for every layer
+// of the hand-rolled trusted computing base, plus automatic counterexample
+// shrinking.
+//
+// The pipeline's verdicts are only as trustworthy as its solvers — a silent
+// bug in the CDCL core, the bit-blaster, the Ackermann memory elimination,
+// the ARM→BIR lifter or the symbolic executor corrupts validation results
+// rather than crashing. Each layer therefore gets a second, independent
+// semantics to disagree with:
+//
+//   - internal/sat is cross-checked against a brute-force oracle that
+//     exhaustively enumerates assignments of small CNFs (BruteSolve,
+//     DiffSAT), including under assumptions;
+//   - internal/smt models are validated by concretely evaluating the
+//     original (pre-elimination, pre-blasting) formulas under the returned
+//     assignment (CheckSMTModel) — a model-soundness check that sees
+//     through both read elimination and bit-blasting;
+//   - internal/bitblast is cross-checked against direct 64-bit evaluation
+//     (expr.Assignment.EvalBV) on pinned inputs (EvalVsBlast, DiffBlast);
+//   - internal/lifter + internal/symexec are differentially executed
+//     against the internal/micro simulator over the full A64 subset —
+//     loads/stores, unconditional and conditional branches, compare-and-
+//     branch patterns — comparing final register and memory state
+//     (DiffProgram).
+//
+// A structured generator (RandomProgram / RandomState) drives the program
+// differential from either a seeded RNG or a fuzzer-mutated byte stream:
+// the same generator is reused by the native `go test -fuzz` targets in
+// this package, so corpus mutation explores exactly the space of valid
+// DAG-shaped programs. When any differential check fails, delta-debugging
+// shrinkers (ShrinkProgram, ShrinkCNF) minimize the failing input to a
+// small repro before it is reported.
+//
+// See DESIGN.md §8 and `make fuzz-smoke`.
+package oracle

@@ -1,0 +1,122 @@
+package oracle
+
+import (
+	"fmt"
+
+	"scamv/internal/arm"
+	"scamv/internal/bir"
+	"scamv/internal/expr"
+	"scamv/internal/lifter"
+	"scamv/internal/micro"
+	"scamv/internal/symexec"
+)
+
+// DiffOptions configures DiffProgram. The zero value uses the production
+// lifter and the default Cortex-A53-like simulator configuration; the Lift
+// hook exists so the teeth tests can inject lifting mutations and prove the
+// differential detects them.
+type DiffOptions struct {
+	// Lift translates arm to bir; nil means lifter.Lift.
+	Lift func(*arm.Program) (*bir.Program, error)
+	// Config is the simulator configuration; nil means micro.DefaultConfig.
+	// Speculation, caches and the prefetcher never touch architectural
+	// state, so the differential holds under any configuration.
+	Config *micro.Config
+	// MaxInstrs bounds simulator execution (0: the simulator's default).
+	MaxInstrs int
+	// MaxSteps bounds symbolic execution blocks per path (0: default).
+	MaxSteps int
+}
+
+// Mismatch is a divergence between the symbolic semantics (lifter +
+// symbolic executor, evaluated concretely) and the simulator on one
+// concrete run: the counterexample the differential oracle exists to find.
+type Mismatch struct {
+	Prog *arm.Program
+	Loc  string // "register x3" or "memory 0x10010"
+	Sym  uint64 // lifter+symexec value
+	Mic  uint64 // simulator value
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("oracle: %s: symexec %#x vs micro %#x\nprogram:\n%s", m.Loc, m.Sym, m.Mic, m.Prog)
+}
+
+// DiffProgram executes p under both independent semantics of the A64
+// subset — lift to BIR and symbolically execute, then evaluate the feasible
+// path under the concrete initial state; and run the microarchitectural
+// simulator directly — and compares the final architectural state: every
+// general-purpose register and the full memory image. It returns a
+// *Mismatch error on divergence, a plain error when either side fails to
+// execute, and nil on agreement.
+func DiffProgram(p *arm.Program, regs map[string]uint64, mem *expr.MemModel, o *DiffOptions) error {
+	if o == nil {
+		o = &DiffOptions{}
+	}
+	lift := o.Lift
+	if lift == nil {
+		lift = lifter.Lift
+	}
+	bp, err := lift(p)
+	if err != nil {
+		return fmt.Errorf("oracle: lift: %w", err)
+	}
+	paths, err := symexec.Run(bp, o.MaxSteps)
+	if err != nil {
+		return fmt.Errorf("oracle: symexec: %w", err)
+	}
+
+	a := expr.NewAssignment()
+	for k, v := range regs {
+		a.BV[k] = v
+	}
+	a.Mem[bir.MemName] = mem
+	taken, err := symexec.Feasible(paths, a)
+	if err != nil {
+		return err
+	}
+
+	cfg := micro.DefaultConfig()
+	if o.Config != nil {
+		cfg = *o.Config
+	}
+	m := micro.New(cfg)
+	if err := m.LoadState(regs, mem); err != nil {
+		return err
+	}
+	if err := m.Run(p, o.MaxInstrs, nil); err != nil {
+		return fmt.Errorf("oracle: micro: %w", err)
+	}
+
+	// Registers: every architectural register, written or not.
+	for i := 0; i <= 30; i++ {
+		name := lifter.RegName(arm.X(i))
+		got := regs[name]
+		if e, written := taken.Regs[name]; written {
+			got = a.EvalBV(e)
+		}
+		if want := m.Regs[i]; got != want {
+			return &Mismatch{Prog: p, Loc: "register " + name, Sym: got, Mic: want}
+		}
+	}
+
+	// Memory: materialize both final images and compare them pointwise over
+	// the union of their explicit entries (they share the default word, so
+	// untouched addresses agree by construction).
+	symMem := a.EvalMem(taken.Mem)
+	micMem := m.MemSnapshot()
+	if symMem.Default != micMem.Default {
+		return &Mismatch{Prog: p, Loc: "memory default", Sym: symMem.Default, Mic: micMem.Default}
+	}
+	for addr := range symMem.Data {
+		if got, want := symMem.Get(addr), micMem.Get(addr); got != want {
+			return &Mismatch{Prog: p, Loc: fmt.Sprintf("memory %#x", addr), Sym: got, Mic: want}
+		}
+	}
+	for addr := range micMem.Data {
+		if got, want := symMem.Get(addr), micMem.Get(addr); got != want {
+			return &Mismatch{Prog: p, Loc: fmt.Sprintf("memory %#x", addr), Sym: got, Mic: want}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scamv/internal/arm"
+	"scamv/internal/expr"
+	"scamv/internal/lifter"
+)
+
+// intSource abstracts the randomness driving the structured generators: a
+// seeded RNG for the deterministic differential sweeps, or a fuzzer-mutated
+// byte stream for the native fuzz targets. Driving one generator from both
+// means corpus mutation explores exactly the space of valid programs.
+type intSource interface {
+	intn(n int) int // uniform-ish in [0, n)
+	word() uint64
+}
+
+type randSource struct{ r *rand.Rand }
+
+func (s randSource) intn(n int) int { return s.r.Intn(n) }
+func (s randSource) word() uint64   { return s.r.Uint64() }
+
+// GenConfig shapes the structured program generator.
+type GenConfig struct {
+	// Regs is the number of general-purpose registers the generated code
+	// uses (x0..x(Regs-1)); XZR is mixed in occasionally regardless.
+	Regs int
+	// MaxSegments bounds the number of control-flow segments (straight
+	// runs, if/else diamonds, compare-and-branch skips, forward jumps).
+	MaxSegments int
+	// MemBase is the base of the memory window register values are biased
+	// toward, so loads and stores alias interestingly.
+	MemBase uint64
+	// MemWords is the number of words in the window.
+	MemWords int
+}
+
+// DefaultGen mirrors the paper's template shapes: few registers, short
+// programs, one small shared memory window.
+func DefaultGen() GenConfig {
+	return GenConfig{Regs: 8, MaxSegments: 4, MemBase: 0x10000, MemWords: 8}
+}
+
+var genConds = []arm.Cond{arm.EQ, arm.NE, arm.HS, arm.LO, arm.HI, arm.LS, arm.GE, arm.LT, arm.GT, arm.LE}
+
+// genReg picks an operand register, occasionally the zero register.
+func genReg(src intSource, cfg GenConfig) arm.Reg {
+	if src.intn(16) == 0 {
+		return arm.XZR
+	}
+	return arm.X(src.intn(cfg.Regs))
+}
+
+// genInstr generates one random non-control-flow instruction covering the
+// full straight-line A64 subset, including register- and immediate-offset
+// loads and stores.
+func genInstr(src intSource, cfg GenConfig) arm.Instr {
+	reg := func() arm.Reg { return genReg(src, cfg) }
+	imm := func() uint64 { return uint64(src.intn(1 << 12)) }
+	switch src.intn(18) {
+	case 0:
+		return arm.Instr{Op: arm.MOVZ, Rd: reg(), Imm: imm()}
+	case 1:
+		return arm.Instr{Op: arm.MOVR, Rd: reg(), Rn: reg()}
+	case 2:
+		return arm.Instr{Op: arm.ADDI, Rd: reg(), Rn: reg(), Imm: imm()}
+	case 3:
+		return arm.Instr{Op: arm.ADDR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 4:
+		return arm.Instr{Op: arm.SUBI, Rd: reg(), Rn: reg(), Imm: imm()}
+	case 5:
+		return arm.Instr{Op: arm.SUBR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 6:
+		return arm.Instr{Op: arm.ANDI, Rd: reg(), Rn: reg(), Imm: imm()}
+	case 7:
+		return arm.Instr{Op: arm.ANDR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 8:
+		return arm.Instr{Op: arm.ORRR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 9:
+		return arm.Instr{Op: arm.EORR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 10:
+		return arm.Instr{Op: arm.LSLI, Rd: reg(), Rn: reg(), Imm: uint64(src.intn(64))}
+	case 11:
+		return arm.Instr{Op: arm.LSRI, Rd: reg(), Rn: reg(), Imm: uint64(src.intn(64))}
+	case 12:
+		return arm.Instr{Op: arm.MULR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 13:
+		return arm.Instr{Op: arm.LDRI, Rd: reg(), Rn: reg(), Imm: imm() &^ 7}
+	case 14:
+		return arm.Instr{Op: arm.STRI, Rd: reg(), Rn: reg(), Imm: imm() &^ 7}
+	case 15:
+		return arm.Instr{Op: arm.LDRR, Rd: reg(), Rn: reg(), Rm: reg()}
+	case 16:
+		return arm.Instr{Op: arm.STRR, Rd: reg(), Rn: reg(), Rm: reg()}
+	default:
+		return arm.Instr{Op: arm.NOP}
+	}
+}
+
+func genBody(src intSource, cfg GenConfig, p *arm.Program, n int) {
+	for i := 0; i < n; i++ {
+		p.Add(genInstr(src, cfg))
+	}
+}
+
+// genProgram builds a DAG-shaped program (all branches forward, so both the
+// symbolic executor and the simulator terminate) out of 1..MaxSegments
+// control-flow segments followed by hlt.
+func genProgram(src intSource, cfg GenConfig) *arm.Program {
+	if cfg.Regs <= 0 {
+		cfg = DefaultGen()
+	}
+	p := arm.NewProgram("fuzz")
+	labels := 0
+	fresh := func(prefix string) string {
+		labels++
+		return fmt.Sprintf("%s%d", prefix, labels)
+	}
+	genCmp := func() arm.Instr {
+		switch src.intn(3) {
+		case 0:
+			return arm.Instr{Op: arm.CMPR, Rn: genReg(src, cfg), Rm: genReg(src, cfg)}
+		case 1:
+			return arm.Instr{Op: arm.CMPI, Rn: genReg(src, cfg), Imm: uint64(src.intn(1 << 12))}
+		default:
+			return arm.Instr{Op: arm.TSTI, Rn: genReg(src, cfg), Imm: uint64(src.intn(1 << 12))}
+		}
+	}
+	segments := 1 + src.intn(cfg.MaxSegments)
+	for seg := 0; seg < segments; seg++ {
+		switch src.intn(4) {
+		case 0: // straight-line run
+			genBody(src, cfg, p, 1+src.intn(4))
+		case 1: // if/else diamond over a compare
+			els, end := fresh("else"), fresh("end")
+			p.Add(genCmp(),
+				arm.Instr{Op: arm.BCC, Cond: genConds[src.intn(len(genConds))], Label: els})
+			genBody(src, cfg, p, 1+src.intn(3))
+			p.Add(arm.Instr{Op: arm.B, Label: end})
+			p.Mark(els)
+			genBody(src, cfg, p, 1+src.intn(3))
+			p.Mark(end)
+		case 2: // cbz/cbnz-style compare-and-branch skipping a body
+			skip := fresh("skip")
+			cond := arm.EQ
+			if src.intn(2) == 0 {
+				cond = arm.NE
+			}
+			p.Add(
+				arm.Instr{Op: arm.CMPI, Rn: genReg(src, cfg), Imm: 0},
+				arm.Instr{Op: arm.BCC, Cond: cond, Label: skip})
+			genBody(src, cfg, p, 1+src.intn(3))
+			p.Mark(skip)
+		default: // forward jump over dead code (exercises block splitting)
+			over := fresh("over")
+			p.Add(arm.Instr{Op: arm.B, Label: over})
+			genBody(src, cfg, p, 1+src.intn(2))
+			p.Mark(over)
+		}
+	}
+	p.Add(arm.Instr{Op: arm.HLT})
+	return p
+}
+
+// genState builds a random initial architectural state: register values
+// biased toward the memory window (so addresses alias), small immediates and
+// full-range words, plus a populated memory window.
+func genState(src intSource, cfg GenConfig) (map[string]uint64, *expr.MemModel) {
+	if cfg.Regs <= 0 {
+		cfg = DefaultGen()
+	}
+	regs := make(map[string]uint64, cfg.Regs)
+	for i := 0; i < cfg.Regs; i++ {
+		name := lifter.RegName(arm.X(i))
+		switch src.intn(3) {
+		case 0:
+			regs[name] = uint64(src.intn(1 << 12))
+		case 1:
+			regs[name] = src.word()
+		default:
+			regs[name] = cfg.MemBase + uint64(src.intn(cfg.MemWords*2))*8
+		}
+	}
+	mem := expr.NewMemModel(0)
+	for i := 0; i < cfg.MemWords; i++ {
+		mem.Set(cfg.MemBase+uint64(i)*8, src.word())
+	}
+	return regs, mem
+}
+
+// RandomProgram draws a structured program from a seeded RNG.
+func RandomProgram(r *rand.Rand, cfg GenConfig) *arm.Program {
+	return genProgram(randSource{r}, cfg)
+}
+
+// RandomState draws an initial state from a seeded RNG.
+func RandomState(r *rand.Rand, cfg GenConfig) (map[string]uint64, *expr.MemModel) {
+	return genState(randSource{r}, cfg)
+}

@@ -1,0 +1,119 @@
+package oracle
+
+import (
+	"fmt"
+
+	"scamv/internal/sat"
+)
+
+// BruteMaxVars bounds the exhaustive SAT oracle: 2^20 assignments is the
+// largest search the harness is willing to enumerate per query.
+const BruteMaxVars = 20
+
+// LitSatisfied reports whether the literal is true under the model.
+func LitSatisfied(l sat.Lit, model []bool) bool {
+	return model[l.Var()] != l.Sign()
+}
+
+// CNFSatisfied reports whether every clause has a true literal under model.
+func CNFSatisfied(clauses [][]sat.Lit, model []bool) bool {
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if LitSatisfied(l, model) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteSolve decides the CNF by exhaustive assignment enumeration — the
+// reference semantics for internal/sat. Assignments are enumerated in
+// increasing binary order with variable 0 as the least-significant bit, so
+// the returned model of a satisfiable formula is the numerically minimal
+// one: the ideal against which the CDCL solver's zero-default-phase
+// "minimal model" heuristic is judged. Assumption literals must also hold
+// in the model. nVars must be at most BruteMaxVars.
+func BruteSolve(nVars int, clauses [][]sat.Lit, assumptions ...sat.Lit) (sat.Status, []bool) {
+	if nVars > BruteMaxVars {
+		panic(fmt.Sprintf("oracle: BruteSolve on %d vars (max %d)", nVars, BruteMaxVars))
+	}
+	model := make([]bool, nVars)
+	for bits := uint64(0); bits < 1<<uint(nVars); bits++ {
+		for v := 0; v < nVars; v++ {
+			model[v] = bits>>uint(v)&1 == 1
+		}
+		ok := true
+		for _, a := range assumptions {
+			if !LitSatisfied(a, model) {
+				ok = false
+				break
+			}
+		}
+		if ok && CNFSatisfied(clauses, model) {
+			return sat.Sat, model
+		}
+	}
+	return sat.Unsat, nil
+}
+
+// SolveFunc is the interface DiffSAT checks: given a CNF and assumptions it
+// returns a status and, when Sat, a model covering every variable.
+type SolveFunc func(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) (sat.Status, []bool)
+
+// CDCLSolve adapts a fresh internal/sat solver to a SolveFunc.
+func CDCLSolve(seed int64) SolveFunc {
+	return func(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) (sat.Status, []bool) {
+		s := sat.New(seed)
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				break // trivially unsat; Solve will confirm
+			}
+		}
+		st := s.Solve(assumptions...)
+		if st != sat.Sat {
+			return st, nil
+		}
+		return st, s.Model()
+	}
+}
+
+// DiffSAT cross-checks a solver against the brute-force oracle on one CNF:
+// the statuses must agree, and a Sat answer must come with a genuine model
+// that satisfies every clause and every assumption. Unknown from the solver
+// (a bounded search giving up) is tolerated — incompleteness is not
+// unsoundness. The returned error, when non-nil, describes the first
+// disagreement.
+func DiffSAT(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit, solve SolveFunc) error {
+	want, _ := BruteSolve(nVars, clauses, assumptions...)
+	got, model := solve(nVars, clauses, assumptions)
+	if got == sat.Unknown {
+		return nil
+	}
+	if got != want {
+		return fmt.Errorf("oracle: solver says %v, brute force says %v on %d vars %d clauses", got, want, nVars, len(clauses))
+	}
+	if got != sat.Sat {
+		return nil
+	}
+	if len(model) < nVars {
+		return fmt.Errorf("oracle: sat model covers %d of %d vars", len(model), nVars)
+	}
+	for _, a := range assumptions {
+		if !LitSatisfied(a, model) {
+			return fmt.Errorf("oracle: sat model violates assumption of var %d", a.Var())
+		}
+	}
+	if !CNFSatisfied(clauses, model) {
+		return fmt.Errorf("oracle: sat model falsifies a clause")
+	}
+	return nil
+}

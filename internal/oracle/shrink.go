@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"scamv/internal/arm"
+	"scamv/internal/sat"
+)
+
+// deleteInstr returns a copy of p without instruction i, with label
+// positions shifted so every branch still targets the instruction that
+// followed it (labels at the deleted position move onto its successor).
+func deleteInstr(p *arm.Program, i int) *arm.Program {
+	q := arm.NewProgram(p.Name)
+	q.Instrs = append(append([]arm.Instr{}, p.Instrs[:i]...), p.Instrs[i+1:]...)
+	for l, pos := range p.Labels {
+		if pos > i {
+			pos--
+		}
+		q.Labels[l] = pos
+	}
+	return q
+}
+
+// replaceInstr returns a copy of p with instruction i swapped for ins.
+func replaceInstr(p *arm.Program, i int, ins arm.Instr) *arm.Program {
+	q := arm.NewProgram(p.Name)
+	q.Instrs = append([]arm.Instr{}, p.Instrs...)
+	q.Instrs[i] = ins
+	for l, pos := range p.Labels {
+		q.Labels[l] = pos
+	}
+	return q
+}
+
+// regFields enumerates the register operands a shrink candidate may
+// canonicalize toward x0.
+var regFields = []func(*arm.Instr) *arm.Reg{
+	func(q *arm.Instr) *arm.Reg { return &q.Rd },
+	func(q *arm.Instr) *arm.Reg { return &q.Rn },
+	func(q *arm.Instr) *arm.Reg { return &q.Rm },
+}
+
+// ShrinkProgram minimizes a failing program in the delta-debugging style:
+// as long as the predicate keeps failing, it deletes instructions, collapses
+// conditional branches into unconditional ones, canonicalizes registers
+// toward x0 and shrinks immediates toward zero, iterating to a fixpoint.
+// The failing predicate must hold for p itself; every candidate passed to
+// it is a valid program (all branch targets resolve).
+func ShrinkProgram(p *arm.Program, failing func(*arm.Program) bool) *arm.Program {
+	try := func(q *arm.Program) bool { return q.Validate() == nil && failing(q) }
+	for changed := true; changed; {
+		changed = false
+		// Deletion pass, front to back; restart indexes after each success
+		// so positions stay meaningful.
+		for i := 0; i < len(p.Instrs); {
+			if q := deleteInstr(p, i); try(q) {
+				p = q
+				changed = true
+				continue
+			}
+			i++
+		}
+		// Simplification pass: per-instruction rewrites that keep the count
+		// but reduce structure.
+		for i := 0; i < len(p.Instrs); i++ {
+			ins := p.Instrs[i]
+			if ins.Op == arm.BCC {
+				if q := replaceInstr(p, i, arm.Instr{Op: arm.B, Label: ins.Label}); try(q) {
+					p = q
+					changed = true
+					continue
+				}
+			}
+			for _, imm := range []uint64{0, ins.Imm >> 1} {
+				if ins.Imm != imm {
+					cand := ins
+					cand.Imm = imm
+					if q := replaceInstr(p, i, cand); try(q) {
+						p = q
+						ins = cand
+						changed = true
+					}
+				}
+			}
+			for _, field := range regFields {
+				cand := ins
+				if *field(&cand) == arm.X(0) {
+					continue
+				}
+				*field(&cand) = arm.X(0)
+				if q := replaceInstr(p, i, cand); try(q) {
+					p = q
+					ins = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ShrinkCNF minimizes a failing CNF: it deletes clauses, then literals
+// within clauses, then compacts the variable space, as long as the
+// predicate keeps failing. The failing predicate must hold for the input.
+func ShrinkCNF(nVars int, clauses [][]sat.Lit, failing func(nVars int, clauses [][]sat.Lit) bool) (int, [][]sat.Lit) {
+	copyWithout := func(cs [][]sat.Lit, i int) [][]sat.Lit {
+		return append(append([][]sat.Lit{}, cs[:i]...), cs[i+1:]...)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(clauses); {
+			if cand := copyWithout(clauses, i); failing(nVars, cand) {
+				clauses = cand
+				changed = true
+				continue
+			}
+			i++
+		}
+		for i := range clauses {
+			for j := 0; j < len(clauses[i]); {
+				if len(clauses[i]) == 1 {
+					break
+				}
+				shorter := append(append([]sat.Lit{}, clauses[i][:j]...), clauses[i][j+1:]...)
+				cand := append([][]sat.Lit{}, clauses...)
+				cand[i] = shorter
+				if failing(nVars, cand) {
+					clauses = cand
+					changed = true
+					continue
+				}
+				j++
+			}
+		}
+	}
+	// Compact: renumber the variables still mentioned densely.
+	remap := make(map[int]int)
+	for _, c := range clauses {
+		for _, l := range c {
+			if _, ok := remap[l.Var()]; !ok {
+				remap[l.Var()] = len(remap)
+			}
+		}
+	}
+	if len(remap) < nVars {
+		compact := make([][]sat.Lit, len(clauses))
+		for i, c := range clauses {
+			compact[i] = make([]sat.Lit, len(c))
+			for j, l := range c {
+				compact[i][j] = sat.MkLit(remap[l.Var()], l.Sign())
+			}
+		}
+		if failing(len(remap), compact) {
+			return len(remap), compact
+		}
+	}
+	return nVars, clauses
+}

@@ -9,7 +9,7 @@ func TestAssumptionsBasic(t *testing.T) {
 	s := New(1)
 	a, b := s.NewVar(), s.NewVar()
 	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
-	if s.Solve(MkLit(a, true)) != Sat {          // assume ¬a
+	if s.Solve(MkLit(a, true)) != Sat {           // assume ¬a
 		t.Fatal("sat under ¬a expected")
 	}
 	if s.Value(a) || !s.Value(b) {

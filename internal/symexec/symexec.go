@@ -61,6 +61,27 @@ func (p *Path) String() string {
 	return fmt.Sprintf("path %v cond=%s obs=%d", p.Trace, p.Cond, len(p.Obs))
 }
 
+// Feasible returns the single path whose condition holds under the concrete
+// assignment a. Path conditions of one program partition the input space, so
+// zero or multiple feasible paths indicate a broken guard somewhere in the
+// lifter or the executor — Feasible reports either as an error rather than
+// guessing.
+func Feasible(paths []*Path, a *expr.Assignment) (*Path, error) {
+	var taken *Path
+	for _, p := range paths {
+		if a.EvalBool(p.Cond) {
+			if taken != nil {
+				return nil, fmt.Errorf("symexec: two feasible paths (%v and %v) under one input", taken.Trace, p.Trace)
+			}
+			taken = p
+		}
+	}
+	if taken == nil {
+		return nil, fmt.Errorf("symexec: no feasible path among %d", len(paths))
+	}
+	return taken, nil
+}
+
 type state struct {
 	label string
 	regs  map[string]expr.BVExpr
