@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race fuzz-smoke bench-gen bench-campaign bench
+.PHONY: ci build vet test race fuzz-smoke bench-gen bench-campaign bench-telemetry bench
 
 ci: build vet race bench-gen
 
@@ -39,6 +39,13 @@ bench-gen:
 # regresses; the wall-clock speedup is asserted only on multi-core runners.
 bench-campaign:
 	BENCH_CAMPAIGN=1 $(GO) test -run TestWriteBenchCampaign -count=1 -v .
+
+# Telemetry-overhead benchmark: runs the MLine campaign with a full JSONL
+# tracer attached vs a nil tracer and writes BENCH_telemetry.json (wall
+# clock, overhead ratio, trace size). Target is ≤1.05x; fails past the
+# 1.25x flake ceiling or if tracing changes any campaign count.
+bench-telemetry:
+	BENCH_TELEMETRY=1 $(GO) test -run TestWriteBenchTelemetry -count=1 -v .
 
 # Full paper-table benchmark suite (one iteration each).
 bench:

@@ -8,32 +8,41 @@
 //	scamv -exp mpart -scale 1.0    # one campaign at paper scale
 //	scamv -exp mct-a -programs 20  # explicit program count
 //	scamv -log run.jsonl           # also append per-experiment records
+//	scamv -trace t.jsonl -progress # telemetry trace + live progress line
+//	scamv -report t.jsonl          # log aggregates or trace latency report
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"scamv"
 	"scamv/internal/analysis"
 	"scamv/internal/gen"
 	"scamv/internal/logdb"
+	"scamv/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "campaign: all, mpart, mpart-pa, mct-a, mct-b, fig7-c, mspec1-b, straight, mtime, pcmodel")
-		scale    = flag.Float64("scale", 0.05, "fraction of the paper-scale program counts to run")
-		programs = flag.Int("programs", 0, "override the number of programs (0 = scale * paper count)")
-		tests    = flag.Int("tests", 0, "override test cases per program (0 = preset)")
-		seed     = flag.Int64("seed", 2021, "campaign seed")
-		logPath  = flag.String("log", "", "append per-experiment JSON records to this file")
-		report   = flag.String("report", "", "analyse a previously written log file and exit")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "per-stage worker budget (programs in flight)")
-		mono     = flag.Bool("monolithic", false, "disable the staged engine (no stage overlap or metrics; A/B baseline)")
+		exp       = flag.String("exp", "all", "campaign: all, mpart, mpart-pa, mct-a, mct-b, fig7-c, mspec1-b, straight, mtime, pcmodel")
+		scale     = flag.Float64("scale", 0.05, "fraction of the paper-scale program counts to run")
+		programs  = flag.Int("programs", 0, "override the number of programs (0 = scale * paper count)")
+		tests     = flag.Int("tests", 0, "override test cases per program (0 = preset)")
+		seed      = flag.Int64("seed", 2021, "campaign seed")
+		logPath   = flag.String("log", "", "append per-experiment JSON records to this file")
+		report    = flag.String("report", "", "analyse a previously written log or trace file and exit")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "per-stage worker budget (programs in flight)")
+		mono      = flag.Bool("monolithic", false, "disable the staged engine (no stage overlap or metrics; A/B baseline)")
+		trace     = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver queries, verdicts) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/scamv, /debug/vars and /debug/pprof on this address")
+		progress  = flag.Bool("progress", false, "print a live progress line on stderr")
 	)
 	flag.Parse()
 
@@ -52,6 +61,38 @@ func main() {
 			fatal(err)
 		}
 		defer db.Close()
+	}
+
+	// The tracer exists when any telemetry consumer is on: -trace feeds it
+	// a file, -progress and -debug-addr run it in aggregates-only mode.
+	var tr *telemetry.Tracer
+	if *trace != "" {
+		var err error
+		tr, err = telemetry.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *progress || *debugAddr != "" {
+		tr = telemetry.New(nil)
+	}
+	if tr.Enabled() {
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "scamv:", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, tr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "scamv: debug endpoint on http://%s/debug/scamv\n", addr)
+	}
+	if *progress {
+		stop := telemetry.StartProgress(os.Stderr, tr, time.Second)
+		defer stop()
 	}
 
 	n := func(paper int) int {
@@ -75,6 +116,7 @@ func main() {
 		unguided.Log, refined.Log = db, db
 		unguided.Parallel, refined.Parallel = *parallel, *parallel
 		unguided.Monolithic, refined.Monolithic = *mono, *mono
+		unguided.Trace, refined.Trace = tr, tr
 		fmt.Printf("== %s ==\n", title)
 		ru, err := scamv.Run(unguided)
 		if err != nil {
@@ -90,6 +132,7 @@ func main() {
 		e.Log = db
 		e.Parallel = *parallel
 		e.Monolithic = *mono
+		e.Trace = tr
 		fmt.Printf("== %s ==\n", title)
 		r, err := scamv.Run(e)
 		if err != nil {
@@ -153,9 +196,54 @@ func main() {
 	}
 }
 
-// analyse prints campaign aggregates and, for every unguided/refined pair
-// of the same campaign family, the paper's §A.6.1 checklist ratios.
+// analyse dispatches -report on the file's content: telemetry traces (every
+// record carries a "kind") get the latency report, experiment logs get the
+// campaign aggregates and checklist ratios.
 func analyse(path string) error {
+	trace, err := isTraceFile(path)
+	if err != nil {
+		return err
+	}
+	if trace {
+		recs, err := telemetry.LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.AnalyzeTrace(recs))
+		return nil
+	}
+	return analyseLog(path)
+}
+
+// isTraceFile sniffs the first non-empty line: telemetry records always
+// carry a "kind" field, logdb records never do.
+func isTraceFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			// Leave malformed files to the stricter loader's diagnostics.
+			return false, nil
+		}
+		return probe.Kind != "", nil
+	}
+	return false, sc.Err()
+}
+
+// analyseLog prints campaign aggregates and, for every unguided/refined pair
+// of the same campaign family, the paper's §A.6.1 checklist ratios.
+func analyseLog(path string) error {
 	recs, err := logdb.Load(path)
 	if err != nil {
 		return err

@@ -29,7 +29,28 @@ type Blaster struct {
 	boolCache map[expr.BoolExpr]sat.Lit
 	varBits   map[string][]sat.Lit
 	boolVars  map[string]sat.Lit
+
+	stats CacheStats
 }
+
+// CacheStats counts hash-consed CNF cache traffic: a hit means a subtree was
+// asserted again (e.g. the same observation address renamed per incremental
+// query) and cost nothing; a miss means fresh Tseitin clauses were emitted.
+// The hit ratio is the payoff of the shared-prefix solver reuse and is
+// surfaced per query by the telemetry layer via smt.Solver.Stats.
+type CacheStats struct {
+	BVHits, BVMisses     int64
+	BoolHits, BoolMisses int64
+}
+
+// Hits is the total cache-hit count across both expression sorts.
+func (c CacheStats) Hits() int64 { return c.BVHits + c.BoolHits }
+
+// Misses is the total cache-miss count across both expression sorts.
+func (c CacheStats) Misses() int64 { return c.BVMisses + c.BoolMisses }
+
+// CacheStats snapshots the blast-cache counters.
+func (b *Blaster) CacheStats() CacheStats { return b.stats }
 
 // New returns a Blaster over solver s.
 func New(s *sat.Solver) *Blaster {
@@ -230,8 +251,10 @@ func (b *Blaster) litsValue(bits []sat.Lit) uint64 {
 func (b *Blaster) BV(e expr.BVExpr) []sat.Lit {
 	e = b.intern.Intern(e).(expr.BVExpr)
 	if bits, ok := b.bvCache[e]; ok {
+		b.stats.BVHits++
 		return bits
 	}
+	b.stats.BVMisses++
 	bits := b.bv(e)
 	b.bvCache[e] = bits
 	return bits
@@ -440,8 +463,10 @@ func (b *Blaster) eqBits(x, y []sat.Lit) sat.Lit {
 func (b *Blaster) Bool(e expr.BoolExpr) sat.Lit {
 	e = b.intern.Intern(e).(expr.BoolExpr)
 	if l, ok := b.boolCache[e]; ok {
+		b.stats.BoolHits++
 		return l
 	}
+	b.stats.BoolMisses++
 	l := b.boolE(e)
 	b.boolCache[e] = l
 	return l

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"scamv/internal/expr"
 	"scamv/internal/obs"
 	"scamv/internal/sat"
 	"scamv/internal/smt"
 	"scamv/internal/symexec"
+	"scamv/internal/telemetry"
 )
 
 // State is a concrete initial machine state for one side of a test case.
@@ -72,6 +74,14 @@ type Config struct {
 	// asserted once and each class constraint is an activation-literal scope
 	// on top. Kept for A/B benchmarking of the shared-prefix reuse.
 	Legacy bool
+
+	// Trace, when non-nil, receives one telemetry query event per solver
+	// query, carrying the effort deltas (SAT conflicts/decisions/
+	// propagations, blast-cache hits/misses, Ackermann expansions) that
+	// query cost. Prog tags the events with the program index. A nil Trace
+	// costs one pointer check per query.
+	Trace *telemetry.Tracer
+	Prog  int
 }
 
 // suffixes for the two states of Eq. 1.
@@ -237,6 +247,15 @@ type stream struct {
 
 	// Legacy mode: a private solver owning the whole formula.
 	solver *smt.Solver
+}
+
+// activeSolver returns the solver this stream queries: its private one in
+// legacy mode, the shared pair solver otherwise.
+func (st *stream) activeSolver() *smt.Solver {
+	if st.solver != nil {
+		return st.solver
+	}
+	return st.ps.solver
 }
 
 // Generator enumerates test cases for one program, round-robin across path
@@ -405,19 +424,42 @@ func (g *Generator) Next() (*TestCase, bool) {
 		k := g.keys[g.rr%len(g.keys)]
 		g.rr++
 		st := g.streams[k]
+		if st != nil && st.dead {
+			continue
+		}
+		// Telemetry: snapshot the effort counters before ALL work for this
+		// query — including stream creation, whose assertions carry the
+		// bit-blasting and Ackermann-expansion cost — so the delta is fully
+		// attributable to the query that triggered it. A brand-new solver
+		// starts from zero stats, which is exactly its delta; a shared pair
+		// solver that pre-exists is snapshotted before the scoped assert.
+		// Disabled tracing costs one pointer check (Enabled) and nothing else.
+		traced := g.cfg.Trace.Enabled()
+		var before smt.Stats
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+			if st != nil {
+				before = st.activeSolver().Stats()
+			} else if !g.cfg.Legacy {
+				if ps := g.pairs[pairKey{a: k.a, b: k.b, slot: k.slot}]; ps != nil {
+					before = ps.solver.Stats()
+				}
+			}
+		}
 		if st == nil {
 			st = g.newStream(k)
 			g.streams[k] = st
 		}
-		if st.dead {
-			continue
-		}
 		solver := st.solver
+		legacy := solver != nil
+		if !legacy {
+			solver = st.ps.solver
+		}
 		var status sat.Status
-		if solver != nil { // legacy: private solver per stream
+		if legacy { // legacy: private solver per stream
 			status = solver.Check()
 		} else {
-			solver = st.ps.solver
 			// Rewind search heuristics so this query behaves like a fresh
 			// solver seeded for this stream: preserves the minimal-model
 			// (zero-phase, boosted-input) behavior per class even though the
@@ -425,6 +467,15 @@ func (g *Generator) Next() (*TestCase, bool) {
 			solver.ResetSearch(st.seed + st.n*65537)
 			st.n++
 			status = solver.CheckUnder(st.handle)
+		}
+		if traced {
+			d := solver.Stats().Sub(before)
+			g.cfg.Trace.Query(telemetry.QueryEvent{
+				Prog: g.cfg.Prog, PathA: k.a, PathB: k.b, Class: k.class, Slot: k.slot,
+				Status: statusName(status), Dur: time.Since(t0),
+				Conflicts: d.Conflicts, Decisions: d.Decisions, Propagations: d.Propagations,
+				BlastHits: d.BlastHits, BlastMisses: d.BlastMisses, AckReads: d.AckermannReads,
+			})
 		}
 		switch status {
 		case sat.Sat:
@@ -455,6 +506,17 @@ func (g *Generator) Next() (*TestCase, bool) {
 		}
 	}
 	return nil, false
+}
+
+// statusName maps a SAT status to its trace-schema string.
+func statusName(s sat.Status) string {
+	switch s {
+	case sat.Sat:
+		return "sat"
+	case sat.Unsat:
+		return "unsat"
+	}
+	return "unknown"
 }
 
 func (g *Generator) extract(m *expr.Assignment, k genKey) *TestCase {

@@ -106,6 +106,36 @@ type Solver struct {
 	MaxConflicts int64
 }
 
+// Stats is a point-in-time copy of the solver's cumulative search counters,
+// the unit the telemetry layer diffs around each query to attribute effort.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64
+}
+
+// Stats snapshots the search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Learnt:       s.Learnt,
+	}
+}
+
+// Sub returns the counter deltas st - prev (effort spent between the two
+// snapshots).
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Conflicts:    st.Conflicts - prev.Conflicts,
+		Decisions:    st.Decisions - prev.Decisions,
+		Propagations: st.Propagations - prev.Propagations,
+		Learnt:       st.Learnt - prev.Learnt,
+	}
+}
+
 // New returns an empty solver seeded for reproducible randomized decisions.
 func New(seed int64) *Solver {
 	s := &Solver{varInc: 1, rng: rand.New(rand.NewSource(seed))}

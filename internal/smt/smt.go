@@ -53,9 +53,10 @@ type Solver struct {
 	sat *sat.Solver
 	bl  *bitblast.Blaster
 
-	reads    map[string][]readInfo // per base memory variable
-	readSeen map[*expr.Read]*expr.Var
-	nreads   int
+	reads          map[string][]readInfo // per base memory variable
+	readSeen       map[*expr.Read]*expr.Var
+	nreads         int
+	ackConstraints int64 // functional-consistency implications asserted
 
 	bvVars   map[string]uint // declared widths of encoded variables
 	boolVars map[string]bool
@@ -309,6 +310,7 @@ func (s *Solver) readBase(m expr.MemExpr, addr expr.BVExpr) expr.BVExpr {
 			c := expr.Implies(expr.Eq(prev.addr, addr), expr.Eq(prev.v, v))
 			s.recordVars(c)
 			s.bl.Assert(c)
+			s.ackConstraints++
 		}
 		s.reads[mv.Name] = append(s.reads[mv.Name], readInfo{addr: addr, v: v})
 		s.bvVars[v.Name] = 64
@@ -323,9 +325,58 @@ func (s *Solver) readBase(m expr.MemExpr, addr expr.BVExpr) expr.BVExpr {
 // Check runs the SAT search.
 func (s *Solver) Check() sat.Status { return s.sat.Solve() }
 
-// Stats exposes solver search counters.
-func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
-	return s.sat.Conflicts, s.sat.Decisions, s.sat.Propagations
+// Stats is the solver's cumulative effort counter set: the CDCL search
+// counters of the backend, the blast-cache traffic of the Tseitin encoder,
+// and the memory-elimination work (Ackermann read variables introduced and
+// functional-consistency constraints asserted). Telemetry snapshots it
+// around each query and records the Sub delta, so one type serves live
+// tracing, the debug endpoint, and tests.
+type Stats struct {
+	// Conflicts, Decisions, and Propagations are the backend CDCL search
+	// counters (sat.Stats).
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	// BlastHits and BlastMisses count hash-consed CNF cache lookups in the
+	// bit-blaster, across both bitvector and boolean expressions.
+	BlastHits   int64
+	BlastMisses int64
+
+	// AckermannReads is the number of fresh read variables introduced by
+	// memory elimination; AckermannConstraints the number of functional-
+	// consistency implications asserted for them (quadratic in reads per
+	// memory, the §5-style blowup this layer makes observable).
+	AckermannReads       int64
+	AckermannConstraints int64
+}
+
+// Sub returns the counter deltas st - prev.
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Conflicts:            st.Conflicts - prev.Conflicts,
+		Decisions:            st.Decisions - prev.Decisions,
+		Propagations:         st.Propagations - prev.Propagations,
+		BlastHits:            st.BlastHits - prev.BlastHits,
+		BlastMisses:          st.BlastMisses - prev.BlastMisses,
+		AckermannReads:       st.AckermannReads - prev.AckermannReads,
+		AckermannConstraints: st.AckermannConstraints - prev.AckermannConstraints,
+	}
+}
+
+// Stats snapshots the solver's effort counters.
+func (s *Solver) Stats() Stats {
+	ss := s.sat.Stats()
+	cs := s.bl.CacheStats()
+	return Stats{
+		Conflicts:            ss.Conflicts,
+		Decisions:            ss.Decisions,
+		Propagations:         ss.Propagations,
+		BlastHits:            cs.Hits(),
+		BlastMisses:          cs.Misses(),
+		AckermannReads:       int64(s.nreads),
+		AckermannConstraints: s.ackConstraints,
+	}
 }
 
 // Model extracts the current satisfying assignment, including reconstructed

@@ -299,9 +299,46 @@ func TestStatsProgress(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("sat expected")
 	}
-	_, decisions, props := s.Stats()
-	if decisions == 0 && props == 0 {
+	st := s.Stats()
+	if st.Decisions == 0 && st.Propagations == 0 {
 		t.Error("no search activity recorded")
+	}
+	if st.BlastMisses == 0 {
+		t.Error("asserting a fresh formula must miss the blast cache")
+	}
+}
+
+func TestStatsCountersAndDeltas(t *testing.T) {
+	mem := expr.NewMemVar("MEM")
+	s := New(Options{Seed: 1})
+	// Three reads of one memory at distinct symbolic addresses: 3 Ackermann
+	// variables and 1+2 = 3 pairwise functional-consistency constraints.
+	for _, name := range []string{"a", "b", "c"} {
+		s.Assert(expr.Ule(expr.NewRead(mem, expr.V64(name)), expr.C64(255)))
+	}
+	st := s.Stats()
+	if st.AckermannReads != 3 {
+		t.Errorf("AckermannReads = %d, want 3", st.AckermannReads)
+	}
+	if st.AckermannConstraints != 3 {
+		t.Errorf("AckermannConstraints = %d, want 3 (pairwise over 3 reads)", st.AckermannConstraints)
+	}
+	before := st
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	d := s.Stats().Sub(before)
+	if d.AckermannReads != 0 || d.AckermannConstraints != 0 {
+		t.Errorf("Check must not add Ackermann work: %+v", d)
+	}
+	if d.Propagations == 0 && d.Decisions == 0 {
+		t.Error("Check delta shows no search activity")
+	}
+	// Re-asserting a structurally identical formula hits the blast cache.
+	preHits := s.Stats().BlastHits
+	s.Assert(expr.Ule(expr.NewRead(mem, expr.V64("a")), expr.C64(255)))
+	if s.Stats().BlastHits <= preHits {
+		t.Error("re-asserted formula should hit the blast cache")
 	}
 }
 

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDebugEndpoint(t *testing.T) {
+	tr := New(nil)
+	tr.BeginCampaign("c", 3)
+	tr.Query(QueryEvent{Status: "sat", Dur: 2 * time.Millisecond, Conflicts: 7, BlastMisses: 1})
+	tr.Span("symexec", 0, time.Now().Add(-time.Millisecond))
+	tr.ProgramDone()
+
+	srv := httptest.NewServer(DebugMux(tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/scamv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var c countersJSON
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Programs != 1 || c.Queries != 1 || c.Conflicts != 7 || c.BlastMisses != 1 {
+		t.Errorf("/debug/scamv counters wrong: %+v", c)
+	}
+	if len(c.Stages) != 1 || c.Stages[0].Name != "symexec" || c.Stages[0].P50US == 0 {
+		t.Errorf("/debug/scamv stages wrong: %+v", c.Stages)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeDebugPicksFreePort(t *testing.T) {
+	tr := New(nil)
+	srv, addr, err := ServeDebug("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/debug/scamv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

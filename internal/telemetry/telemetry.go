@@ -1,0 +1,442 @@
+// Package telemetry is the campaign observability spine: a low-overhead,
+// concurrency-safe tracer threaded through the whole Scam-V pipeline.
+//
+// Three consumers hang off one Tracer:
+//
+//   - a JSONL trace writer (scamv -trace run.jsonl) recording one line per
+//     pipeline span, per solver query (with SAT counter deltas, blast-cache
+//     hits/misses, and Ackermann expansion counts), and per experiment
+//     verdict — reloadable by ReadTrace for offline latency analysis;
+//   - live aggregates (Snapshot) feeding the periodic progress line on
+//     stderr and the expvar/pprof debug endpoint;
+//   - per-stage and per-query latency histograms (fixed log2 buckets, no
+//     floats in the hot path).
+//
+// A nil *Tracer is fully functional and free: every method starts with a
+// single pointer check, so the disabled pipeline pays one compare-and-branch
+// per instrumentation site and nothing else. The trace file format follows
+// the durability patterns of internal/logdb: buffered writes behind a mutex,
+// Close flushes and closes joining both errors, and the reader rejects a
+// torn final line by naming it.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SchemaVersion is the trace schema version stamped on every record.
+// Version 1: kinds "campaign", "span", "query", "verdict" with the fields
+// documented on Record. Readers reject records from a newer schema.
+const SchemaVersion = 1
+
+// Record is one JSONL trace line. One flat struct serves all kinds; fields
+// not meaningful for a kind are zero and omitted from the encoding (their
+// decoded zero values are identical, so the round trip is lossless).
+//
+// Kinds:
+//
+//	campaign  a campaign started: Name, Programs (expected count)
+//	span      one pipeline stage finished for one program: Stage, Prog, DurUS
+//	query     one solver query: Prog, PathA/PathB/Class/Slot, Status, DurUS,
+//	          plus the solver-effort deltas of this query (Conflicts,
+//	          Decisions, Propagations, BlastHits, BlastMisses, AckReads)
+//	verdict   one executed test case: Prog, Test, Verdict, DurUS
+type Record struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	// TSus is microseconds since the tracer started (monotonic).
+	TSus int64 `json:"ts_us"`
+
+	Name     string `json:"name,omitempty"`
+	Programs int    `json:"programs,omitempty"`
+
+	Prog  int    `json:"prog,omitempty"`
+	Stage string `json:"stage,omitempty"`
+	DurUS int64  `json:"dur_us,omitempty"`
+
+	Test    int    `json:"test,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+
+	PathA  int    `json:"path_a,omitempty"`
+	PathB  int    `json:"path_b,omitempty"`
+	Class  int    `json:"class,omitempty"`
+	Slot   int    `json:"slot,omitempty"`
+	Status string `json:"status,omitempty"`
+
+	Conflicts    int64 `json:"conflicts,omitempty"`
+	Decisions    int64 `json:"decisions,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
+	BlastHits    int64 `json:"blast_hits,omitempty"`
+	BlastMisses  int64 `json:"blast_misses,omitempty"`
+	AckReads     int64 `json:"ack_reads,omitempty"`
+}
+
+// QueryEvent is one solver query as reported by the test-case generator.
+// The counter fields are deltas over this query, not cumulative totals.
+type QueryEvent struct {
+	Prog   int
+	PathA  int
+	PathB  int
+	Class  int
+	Slot   int
+	Status string
+	Dur    time.Duration
+
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	BlastHits    int64
+	BlastMisses  int64
+	AckReads     int64
+}
+
+// stageAgg accumulates span observations for one stage name.
+type stageAgg struct {
+	name string
+	hist Histogram
+}
+
+// Tracer collects spans, query events, and verdicts. All methods are safe
+// for concurrent use and safe on a nil receiver (the disabled fast path).
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex // guards w, closer, werr
+	w      *bufio.Writer
+	closer io.Closer
+	werr   error // first write error, sticky
+
+	// Aggregates for the progress line and the debug endpoint.
+	totalPrograms   atomic.Int64
+	programs        atomic.Int64
+	experiments     atomic.Int64
+	counterexamples atomic.Int64
+	inconclusive    atomic.Int64
+
+	queries      atomic.Int64
+	queryHist    Histogram
+	conflicts    atomic.Int64
+	decisions    atomic.Int64
+	propagations atomic.Int64
+	blastHits    atomic.Int64
+	blastMisses  atomic.Int64
+	ackReads     atomic.Int64
+
+	stagesMu sync.RWMutex
+	stages   map[string]*stageAgg
+	order    []*stageAgg // first-seen order
+}
+
+// New returns a tracer writing JSONL records to w. A nil w yields an
+// aggregates-only tracer: spans and queries update the live counters and
+// histograms but no trace is written — the mode behind -progress and
+// -debug-addr without -trace.
+func New(w io.Writer) *Tracer {
+	t := &Tracer{start: time.Now(), stages: make(map[string]*stageAgg)}
+	if w != nil {
+		t.w = bufio.NewWriter(w)
+		if c, ok := w.(io.Closer); ok {
+			t.closer = c
+		}
+	}
+	return t
+}
+
+// Create opens (or truncates) a trace file and returns a tracer writing
+// to it. Close flushes and closes the file.
+func Create(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return New(f), nil
+}
+
+// Enabled reports whether the tracer records anything. It is the one
+// pointer check instrumentation sites pay when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// now returns microseconds since the tracer started.
+func (t *Tracer) now() int64 { return time.Since(t.start).Microseconds() }
+
+// write appends one record. Marshalling happens outside the lock; the first
+// write error is kept and reported by Err and Close.
+func (t *Tracer) write(rec *Record) {
+	if t.w == nil {
+		return
+	}
+	rec.V = SchemaVersion
+	b, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.werr != nil {
+		return
+	}
+	if err != nil {
+		t.werr = fmt.Errorf("telemetry: %w", err)
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.werr = fmt.Errorf("telemetry: %w", err)
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.werr = fmt.Errorf("telemetry: %w", err)
+	}
+}
+
+// BeginCampaign records a campaign-start record and adds the expected
+// program count to the progress denominator. Multiple campaigns may share
+// one tracer (cmd/scamv runs several per invocation).
+func (t *Tracer) BeginCampaign(name string, programs int) {
+	if t == nil {
+		return
+	}
+	t.totalPrograms.Add(int64(programs))
+	t.write(&Record{Kind: "campaign", TSus: t.now(), Name: name, Programs: programs})
+}
+
+// stage returns (creating if needed) the aggregate for a stage name.
+func (t *Tracer) stage(name string) *stageAgg {
+	t.stagesMu.RLock()
+	a := t.stages[name]
+	t.stagesMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	t.stagesMu.Lock()
+	defer t.stagesMu.Unlock()
+	if a = t.stages[name]; a == nil {
+		a = &stageAgg{name: name}
+		t.stages[name] = a
+		t.order = append(t.order, a)
+	}
+	return a
+}
+
+// Span records one pipeline stage's work on one program, measured from
+// start to now. Call it at the end of the stage body:
+//
+//	t0 := time.Now()
+//	... stage work ...
+//	tr.Span("testgen", p, t0)
+func (t *Tracer) Span(stage string, prog int, start time.Time) {
+	if t == nil {
+		return
+	}
+	d := time.Since(start)
+	t.stage(stage).hist.Observe(d)
+	t.write(&Record{Kind: "span", TSus: t.now(), Prog: prog, Stage: stage, DurUS: d.Microseconds()})
+}
+
+// Query records one solver query with its effort deltas.
+func (t *Tracer) Query(ev QueryEvent) {
+	if t == nil {
+		return
+	}
+	t.queries.Add(1)
+	t.queryHist.Observe(ev.Dur)
+	t.conflicts.Add(ev.Conflicts)
+	t.decisions.Add(ev.Decisions)
+	t.propagations.Add(ev.Propagations)
+	t.blastHits.Add(ev.BlastHits)
+	t.blastMisses.Add(ev.BlastMisses)
+	t.ackReads.Add(ev.AckReads)
+	t.write(&Record{
+		Kind: "query", TSus: t.now(), Prog: ev.Prog,
+		PathA: ev.PathA, PathB: ev.PathB, Class: ev.Class, Slot: ev.Slot,
+		Status: ev.Status, DurUS: ev.Dur.Microseconds(),
+		Conflicts: ev.Conflicts, Decisions: ev.Decisions, Propagations: ev.Propagations,
+		BlastHits: ev.BlastHits, BlastMisses: ev.BlastMisses, AckReads: ev.AckReads,
+	})
+}
+
+// Verdict records one executed test case's classification and execution time.
+func (t *Tracer) Verdict(prog, test int, verdict string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.experiments.Add(1)
+	switch verdict {
+	case "counterexample":
+		t.counterexamples.Add(1)
+	case "inconclusive":
+		t.inconclusive.Add(1)
+	}
+	t.write(&Record{Kind: "verdict", TSus: t.now(), Prog: prog, Test: test,
+		Verdict: verdict, DurUS: dur.Microseconds()})
+}
+
+// ProgramDone bumps the completed-program counter behind the progress line.
+func (t *Tracer) ProgramDone() {
+	if t == nil {
+		return
+	}
+	t.programs.Add(1)
+}
+
+// StageCount is one stage's live aggregate in a Counters snapshot.
+type StageCount struct {
+	Name  string
+	Count int64
+	Busy  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Counters is a point-in-time copy of the tracer's aggregates, consumed by
+// the progress sampler and the debug endpoint.
+type Counters struct {
+	Elapsed time.Duration
+
+	TotalPrograms   int64
+	Programs        int64
+	Experiments     int64
+	Counterexamples int64
+	Inconclusive    int64
+
+	Queries      int64
+	QueryTime    time.Duration
+	QueryP50     time.Duration
+	QueryP95     time.Duration
+	QueryP99     time.Duration
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	BlastHits    int64
+	BlastMisses  int64
+	AckReads     int64
+
+	Stages []StageCount // first-seen (pipeline) order
+}
+
+// Snapshot copies the live aggregates. Safe to call while the campaign runs.
+func (t *Tracer) Snapshot() Counters {
+	if t == nil {
+		return Counters{}
+	}
+	c := Counters{
+		Elapsed:         time.Since(t.start),
+		TotalPrograms:   t.totalPrograms.Load(),
+		Programs:        t.programs.Load(),
+		Experiments:     t.experiments.Load(),
+		Counterexamples: t.counterexamples.Load(),
+		Inconclusive:    t.inconclusive.Load(),
+		Queries:         t.queries.Load(),
+		QueryTime:       t.queryHist.Sum(),
+		Conflicts:       t.conflicts.Load(),
+		Decisions:       t.decisions.Load(),
+		Propagations:    t.propagations.Load(),
+		BlastHits:       t.blastHits.Load(),
+		BlastMisses:     t.blastMisses.Load(),
+		AckReads:        t.ackReads.Load(),
+	}
+	c.QueryP50, c.QueryP95, c.QueryP99 = t.queryHist.Quantiles()
+	t.stagesMu.RLock()
+	order := append([]*stageAgg(nil), t.order...)
+	t.stagesMu.RUnlock()
+	for _, a := range order {
+		sc := StageCount{Name: a.name, Count: a.hist.Count(), Busy: a.hist.Sum()}
+		sc.P50, sc.P95, sc.P99 = a.hist.Quantiles()
+		c.Stages = append(c.Stages, sc)
+	}
+	return c
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.werr
+}
+
+// Close flushes the trace and closes the underlying file, if any. Like
+// logdb.Close, the file is closed even when the flush fails and both errors
+// are joined — either alone can mean a truncated trace.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ferr, cerr error
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil {
+			ferr = fmt.Errorf("telemetry: flush: %w", err)
+		}
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil {
+			cerr = fmt.Errorf("telemetry: close: %w", err)
+		}
+		t.closer = nil
+	}
+	return errors.Join(t.werr, ferr, cerr)
+}
+
+// ReadTrace decodes trace records from a reader. Mirroring logdb.Read, a
+// torn final line (a crash mid-append) is rejected with an error naming the
+// line rather than silently dropped or misparsed; records from a newer
+// schema version are rejected too.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		if rec.V > SchemaVersion {
+			return nil, fmt.Errorf("telemetry: line %d: trace schema v%d newer than supported v%d",
+				line, rec.V, SchemaVersion)
+		}
+		if rec.Kind == "" {
+			return nil, fmt.Errorf("telemetry: line %d: record without kind", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return out, nil
+}
+
+// LoadTrace reads all records from a trace file.
+func LoadTrace(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// SortRecords orders records by timestamp, then by kind for equal stamps —
+// a stable order for golden tests over concurrent campaigns.
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].TSus != recs[j].TSus {
+			return recs[i].TSus < recs[j].TSus
+		}
+		return recs[i].Kind < recs[j].Kind
+	})
+}

@@ -76,17 +76,29 @@ func FormatTable(results ...*Result) string {
 }
 
 // FormatStages renders one campaign's per-stage metrics: items in/out,
-// worker counts, busy time, input-starvation wait, and output backpressure
-// stall. The hot stage — the one to shard or cache next — is the one with
-// high busy time whose downstream neighbors show high wait.
+// worker counts, busy time (and its share of the campaign's total busy
+// time), input-starvation wait, and output backpressure stall. The hot
+// stage — the one to shard or cache next — is the one with high busy share
+// whose downstream neighbors show high wait.
 func FormatStages(r *Result) string {
 	if len(r.Stages) == 0 {
 		return ""
 	}
+	var totalBusy time.Duration
+	for _, s := range r.Stages {
+		totalBusy += s.Busy
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "stages[%s]:\n", r.Name)
-	rows := [][]string{{"stage", "workers", "in", "out", "skip", "busy", "wait", "stall"}}
+	rows := [][]string{{"stage", "workers", "in", "out", "skip", "busy", "busy%", "wait", "stall"}}
 	for _, s := range r.Stages {
+		// A zero-duration campaign (all stages instantaneous, or metrics
+		// disabled) has no meaningful shares; render "-" instead of
+		// dividing by zero.
+		share := "-"
+		if totalBusy > 0 {
+			share = fmt.Sprintf("%.0f%%", float64(s.Busy)*100/float64(totalBusy))
+		}
 		rows = append(rows, []string{
 			s.Name,
 			fmt.Sprintf("%d", s.Workers),
@@ -94,6 +106,7 @@ func FormatStages(r *Result) string {
 			fmt.Sprintf("%d", s.Out),
 			fmt.Sprintf("%d", s.Skipped),
 			fmtDur(s.Busy),
+			share,
 			fmtDur(s.Wait),
 			fmtDur(s.Stall),
 		})

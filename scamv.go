@@ -37,6 +37,7 @@ import (
 	"scamv/internal/obs"
 	"scamv/internal/stage"
 	"scamv/internal/symexec"
+	"scamv/internal/telemetry"
 )
 
 // Verdict classifies one executed experiment (paper §6.1: each experiment
@@ -115,6 +116,16 @@ type Experiment struct {
 
 	// Log, when non-nil, receives one record per executed experiment.
 	Log *logdb.DB
+
+	// Trace, when non-nil, is the campaign telemetry spine: it receives a
+	// span per program per pipeline stage (proggen, encode, lift, symexec,
+	// testgen, execute), a query event per solver query with its effort
+	// deltas, and a verdict event per executed test case — feeding the
+	// -trace JSONL writer, the live -progress line, and the -debug-addr
+	// endpoint. A nil Trace costs one pointer check per instrumentation
+	// site. Both engines (staged and monolithic) emit the same spans, so
+	// trace-derived aggregates are engine-independent.
+	Trace *telemetry.Tracer
 
 	// Platform executes experiments; nil means the simulated Cortex-A53
 	// (SimPlatform). A deployment against real hardware plugs in here.
@@ -253,6 +264,13 @@ type Pipeline struct {
 // symbolic execution once (the §5.1 optimization: a single run serves both
 // M1 and M2 via observation tags).
 func NewPipeline(prog *arm.Program, model obs.ModelPair) (*Pipeline, error) {
+	return newPipelineTraced(prog, model, nil, 0)
+}
+
+// newPipelineTraced is NewPipeline with telemetry: the lift span covers
+// lifting plus model instrumentation, the symexec span the symbolic run.
+func newPipelineTraced(prog *arm.Program, model obs.ModelPair, tr *telemetry.Tracer, p int) (*Pipeline, error) {
+	t0 := time.Now()
 	bp, err := lifter.Lift(prog)
 	if err != nil {
 		return nil, fmt.Errorf("scamv: lift %s: %w", prog.Name, err)
@@ -261,10 +279,13 @@ func NewPipeline(prog *arm.Program, model obs.ModelPair) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scamv: instrument %s: %w", prog.Name, err)
 	}
+	tr.Span("lift", p, t0)
+	t0 = time.Now()
 	paths, err := symexec.Run(inst, 0)
 	if err != nil {
 		return nil, fmt.Errorf("scamv: symexec %s: %w", prog.Name, err)
 	}
+	tr.Span("symexec", p, t0)
 	var regs []string
 	for name := range inst.Registers() {
 		if isArchReg(name) {
@@ -296,6 +317,11 @@ func isArchReg(name string) bool {
 // Generator builds the refinement-guided test-case generator for this
 // program.
 func (pl *Pipeline) Generator(e *Experiment, programSeed int64) *core.Generator {
+	return pl.generator(e, programSeed, 0)
+}
+
+// generator is Generator with the program index for query-event tagging.
+func (pl *Pipeline) generator(e *Experiment, programSeed int64, p int) *core.Generator {
 	return core.NewGenerator(pl.Paths, core.Config{
 		Seed:            programSeed,
 		RandomPhaseProb: e.RandomPhaseProb,
@@ -304,6 +330,8 @@ func (pl *Pipeline) Generator(e *Experiment, programSeed int64) *core.Generator 
 		MaxConflicts:    e.MaxConflicts,
 		Registers:       pl.Registers,
 		Legacy:          e.LegacySolver,
+		Trace:           e.Trace,
+		Prog:            p,
 	})
 }
 
@@ -480,7 +508,8 @@ type genOut struct {
 // what lets the staged engine overlap it with the Execute stage.
 func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
 	var out genOut
-	g := pl.Generator(e, e.Seed+int64(p)+1)
+	spanStart := time.Now()
+	g := pl.generator(e, e.Seed+int64(p)+1, p)
 	for t := 0; t < e.TestsPerProgram; t++ {
 		genStart := time.Now()
 		tc, ok := g.Next()
@@ -493,6 +522,7 @@ func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
 		out.durs = append(out.durs, d)
 	}
 	out.queries = g.QueriesSat + g.QueriesUnsat + g.QueriesFailed
+	e.Trace.Span("testgen", p, spanStart)
 	return out
 }
 
@@ -500,6 +530,7 @@ func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
 // case of program p on the platform and classifies the verdicts.
 func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
 	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1}
+	spanStart := time.Now()
 	trainCache := map[int]*core.State{}
 	for t, tc := range g.tests {
 		var train *core.State
@@ -518,6 +549,7 @@ func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Tim
 		if err != nil {
 			return nil, err
 		}
+		e.Trace.Verdict(p, t, verdict.String(), exeDur)
 		out.experiments++
 		switch verdict {
 		case Counterexample:
@@ -545,6 +577,8 @@ func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Tim
 			})
 		}
 	}
+	e.Trace.Span("execute", p, spanStart)
+	e.Trace.ProgramDone()
 	return out, nil
 }
 
@@ -554,8 +588,10 @@ func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Tim
 // exactly the same stage bodies the staged engine wires through channels —
 // which is what keeps the two engines seed-for-seed identical.
 func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
+	t0 := time.Now()
 	prog, fallback := encodeRoundTrip(prog)
-	pl, err := NewPipeline(prog, e.Model)
+	e.Trace.Span("encode", p, t0)
+	pl, err := newPipelineTraced(prog, e.Model, e.Trace, p)
 	if err != nil {
 		return nil, err
 	}
@@ -629,6 +665,7 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 		FirstCEProgram: -1,
 		FirstCETest:    -1,
 	}
+	e.Trace.BeginCampaign(e.Name, e.Programs)
 	start := time.Now()
 	var err error
 	if e.Monolithic {
@@ -649,7 +686,9 @@ func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.T
 	progRng := rand.New(rand.NewSource(e.Seed))
 	progs := make([]*arm.Program, e.Programs)
 	for p := range progs {
+		t0 := time.Now()
 		progs[p] = e.Template.Generate(progRng, p)
+		e.Trace.Span("proggen", p, t0)
 	}
 
 	outs := make([]*programResult, e.Programs)

@@ -71,14 +71,19 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 	progRng := rand.New(rand.NewSource(e.Seed))
 	progs := stage.Source(c, "proggen", buf, e.Programs,
 		func(_ context.Context, p int) (stageProg, error) {
-			return stageProg{p: p, prog: e.Template.Generate(progRng, p)}, nil
+			t0 := time.Now()
+			prog := e.Template.Generate(progRng, p)
+			e.Trace.Span("proggen", p, t0)
+			return stageProg{p: p, prog: prog}, nil
 		})
 
 	// Encode: A64 machine-code round trip (cheap, light pool).
 	encoded := stage.Attach(c, stage.Func[stageProg, stageProg]{
 		StageName: "encode",
 		F: func(_ context.Context, in stageProg) (stageProg, error) {
+			t0 := time.Now()
 			in.prog, in.fallback = encodeRoundTrip(in.prog)
+			e.Trace.Span("encode", in.p, t0)
 			return in, nil
 		},
 	}, light, buf, progs)
@@ -87,7 +92,7 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 	prepared := stage.Attach(c, stage.Func[stageProg, stagePrepared]{
 		StageName: "prepare",
 		F: func(_ context.Context, in stageProg) (stagePrepared, error) {
-			pl, err := NewPipeline(in.prog, e.Model)
+			pl, err := newPipelineTraced(in.prog, e.Model, e.Trace, in.p)
 			if err != nil {
 				return stagePrepared{}, err
 			}
