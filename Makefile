@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race fuzz-smoke bench-gen bench-campaign bench-telemetry bench
+.PHONY: ci build vet test race chaos-smoke fuzz-smoke bench-gen bench-campaign bench-telemetry bench
 
 ci: build vet race bench-gen
 
@@ -16,6 +16,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Resilience smoke: the resilience packages under the race detector, plus
+# the root chaos campaigns (deterministic fault injection under FailPolicy
+# Degrade: golden equality across engines, goroutine-leak check on cancel,
+# dead-backend pool rotation).
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/resilient ./internal/faultinject ./internal/stage
+	$(GO) test -race -count=1 -run 'Chaos|DegradeHealthy|MultiPlatform|CancelDuring' .
 
 # Short coverage-guided fuzzing pass over the four differential oracles
 # (CDCL vs brute force, SMT model soundness, bitblast vs evaluator,

@@ -10,6 +10,9 @@
 //	scamv -log run.jsonl           # also append per-experiment records
 //	scamv -trace t.jsonl -progress # telemetry trace + live progress line
 //	scamv -report t.jsonl          # log aggregates or trace latency report
+//	scamv -chaos heavy -fail-policy degrade -retries 2 -exec-timeout 100ms
+//	                               # fault-injected campaign that degrades
+//	                               # instead of aborting
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"scamv"
 	"scamv/internal/analysis"
+	"scamv/internal/faultinject"
 	"scamv/internal/gen"
 	"scamv/internal/logdb"
 	"scamv/internal/telemetry"
@@ -43,8 +47,21 @@ func main() {
 		trace     = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver queries, verdicts) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/scamv, /debug/vars and /debug/pprof on this address")
 		progress  = flag.Bool("progress", false, "print a live progress line on stderr")
+		execTO    = flag.Duration("exec-timeout", 0, "per-execution deadline (0 = none)")
+		retries   = flag.Int("retries", 0, "retry budget per execution for transient failures")
+		policy    = flag.String("fail-policy", "failfast", "on exhausted retries: failfast (abort campaign) or degrade (skip and continue)")
+		chaos     = flag.String("chaos", "off", "fault-injection profile: off, light, or heavy (deterministic per -seed)")
 	)
 	flag.Parse()
+
+	chaosProf, err := faultinject.Named(*chaos)
+	if err != nil {
+		fatal(err)
+	}
+	failPolicy, err := scamv.ParseFailPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *report != "" {
 		if err := analyse(*report); err != nil {
@@ -112,11 +129,25 @@ func main() {
 		return preset
 	}
 
+	// Resilience knobs apply uniformly; a chaos profile wraps each
+	// experiment's platform in a fresh fault injector seeded from -seed, so
+	// the fault schedule reproduces with the rest of the campaign.
+	applyResilience := func(e *scamv.Experiment) {
+		e.ExecTimeout = *execTO
+		e.Retries = *retries
+		e.FailPolicy = failPolicy
+		if chaosProf.Name != "off" {
+			e.Platform = faultinject.New(e.Platform, chaosProf, *seed)
+		}
+	}
+
 	runPair := func(title string, unguided, refined scamv.Experiment) {
 		unguided.Log, refined.Log = db, db
 		unguided.Parallel, refined.Parallel = *parallel, *parallel
 		unguided.Monolithic, refined.Monolithic = *mono, *mono
 		unguided.Trace, refined.Trace = tr, tr
+		applyResilience(&unguided)
+		applyResilience(&refined)
 		fmt.Printf("== %s ==\n", title)
 		ru, err := scamv.Run(unguided)
 		if err != nil {
@@ -133,6 +164,7 @@ func main() {
 		e.Parallel = *parallel
 		e.Monolithic = *mono
 		e.Trace = tr
+		applyResilience(&e)
 		fmt.Printf("== %s ==\n", title)
 		r, err := scamv.Run(e)
 		if err != nil {

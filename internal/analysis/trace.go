@@ -74,6 +74,14 @@ type TraceReport struct {
 	// ByProgram is the solver-effort breakdown, sorted by descending
 	// query time.
 	ByProgram []ProgramEffort
+
+	// Resilience counters (schema v2 kinds); all zero for a healthy
+	// campaign or a v1 trace.
+	Retries      int64
+	Timeouts     int64
+	Skips        int64
+	Quarantines  int64
+	BreakerTrips int64
 }
 
 // AnalyzeTrace aggregates trace records into a report.
@@ -136,6 +144,18 @@ func AnalyzeTrace(recs []telemetry.Record) *TraceReport {
 			if rec.Verdict == "counterexample" {
 				pe.Counterexamples++
 			}
+		case "retry":
+			r.Retries++
+		case "timeout":
+			r.Timeouts++
+		case "skip":
+			r.Skips++
+		case "quarantine":
+			r.Quarantines++
+		case "breaker":
+			if rec.To == "open" {
+				r.BreakerTrips++
+			}
 		}
 	}
 
@@ -170,6 +190,13 @@ func (r *TraceReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "trace: %d campaigns, %d programs expected, %d spans, %d queries, %d verdicts\n",
 		len(r.Campaigns), r.Programs, r.Spans, r.Queries, r.Verdicts)
+
+	// Resilience line only when something went wrong: healthy-trace reports
+	// are unchanged.
+	if r.Retries > 0 || r.Timeouts > 0 || r.Skips > 0 || r.Quarantines > 0 || r.BreakerTrips > 0 {
+		fmt.Fprintf(&sb, "resilience: %d retries (%d timeouts), %d skips, %d quarantined, %d breaker trips\n",
+			r.Retries, r.Timeouts, r.Skips, r.Quarantines, r.BreakerTrips)
+	}
 
 	fmt.Fprintf(&sb, "\nstage latency (per program):\n")
 	writeDistTable(&sb, "stage", r.Stages)

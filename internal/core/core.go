@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -82,6 +83,12 @@ type Config struct {
 	// costs one pointer check per query.
 	Trace *telemetry.Tracer
 	Prog  int
+
+	// Ctx, when non-nil and cancellable, is installed on every solver the
+	// generator builds and polled between queries: campaign cancellation
+	// aborts an in-flight SAT search (Unknown) instead of blocking behind a
+	// pathological query. Nil means context.Background.
+	Ctx context.Context
 }
 
 // suffixes for the two states of Eq. 1.
@@ -357,6 +364,9 @@ func (g *Generator) newPairState(pk pairKey) *pairState {
 		RandomPhaseProb: g.cfg.RandomPhaseProb,
 		MaxConflicts:    g.cfg.MaxConflicts,
 	})
+	if g.cfg.Ctx != nil {
+		s.SetContext(g.cfg.Ctx)
+	}
 	g.assertPrefix(s, pk.a, pk.b, pk.slot)
 	return &pairState{solver: s, prefixNames: s.VarNames(), handles: make(map[int]smt.Handle)}
 }
@@ -368,6 +378,9 @@ func (g *Generator) newStream(k genKey) *stream {
 			RandomPhaseProb: g.cfg.RandomPhaseProb,
 			MaxConflicts:    g.cfg.MaxConflicts,
 		})
+		if g.cfg.Ctx != nil {
+			s.SetContext(g.cfg.Ctx)
+		}
 		g.assertPrefix(s, k.a, k.b, k.slot)
 		if g.cfg.Support != nil {
 			s.Assert(g.cfg.Support.Constraint(k.class, renameObs(g.paths[k.a].Obs, sfx1)))
@@ -420,6 +433,11 @@ func unionSorted(a, b []string) []string {
 // Next produces the next test case, or ok=false when every stream is
 // exhausted.
 func (g *Generator) Next() (*TestCase, bool) {
+	if g.cfg.Ctx != nil && g.cfg.Ctx.Err() != nil {
+		// Cancelled campaign: stop generating rather than burning solver
+		// time on results nobody will collect.
+		return nil, false
+	}
 	for tried := 0; tried < len(g.keys); tried++ {
 		k := g.keys[g.rr%len(g.keys)]
 		g.rr++

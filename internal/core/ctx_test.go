@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"scamv/internal/gen"
+	"scamv/internal/obs"
+)
+
+// A cancelled Config.Ctx stops test generation: Next returns false instead of
+// launching another solver query, and an in-flight solve gives up with
+// Unknown, which Next also reports as exhaustion.
+func TestGeneratorHonorsCancelledContext(t *testing.T) {
+	m := &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll}
+	paths, regs := pathsFor(t, m, 5, gen.TemplateA{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGenerator(paths, Config{Seed: 1, Refined: true, Registers: regs, Ctx: ctx})
+	if _, ok := g.Next(); !ok {
+		t.Fatal("generator produced nothing before cancellation")
+	}
+	cancel()
+	if tc, ok := g.Next(); ok {
+		t.Fatalf("Next after cancellation returned a test case: %+v", tc)
+	}
+}
+
+// A background (non-cancellable) context must not change generation at all:
+// the same seed yields the same test cases with and without Ctx set.
+func TestGeneratorBackgroundContextIsTransparent(t *testing.T) {
+	m := &obs.MCt{Geom: obs.DefaultGeometry, Spec: obs.SpecAll}
+	paths, regs := pathsFor(t, m, 5, gen.TemplateA{})
+
+	plain := NewGenerator(paths, Config{Seed: 1, Refined: true, Registers: regs})
+	wrapped := NewGenerator(paths, Config{Seed: 1, Refined: true, Registers: regs, Ctx: context.Background()})
+	for i := 0; i < 5; i++ {
+		a, okA := plain.Next()
+		b, okB := wrapped.Next()
+		if okA != okB {
+			t.Fatalf("step %d: exhaustion diverged (%v vs %v)", i, okA, okB)
+		}
+		if !okA {
+			break
+		}
+		if a.PathA != b.PathA || a.PathB != b.PathB {
+			t.Fatalf("step %d: path pair diverged: (%d,%d) vs (%d,%d)",
+				i, a.PathA, a.PathB, b.PathA, b.PathB)
+		}
+		for r, v := range a.S1.Regs {
+			if b.S1.Regs[r] != v {
+				t.Fatalf("step %d: S1[%s] diverged: %x vs %x", i, r, v, b.S1.Regs[r])
+			}
+		}
+	}
+}

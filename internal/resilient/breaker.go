@@ -1,0 +1,202 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit-breaker state.
+type State int
+
+// Breaker states. Closed admits everything; Open denies everything until the
+// cooldown elapses; HalfOpen admits a bounded probe budget whose outcomes
+// decide between re-closing and re-opening.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures a Breaker. The zero value gets sane defaults:
+// trip after 5 consecutive failures, 250ms cooldown, 1 half-open probe.
+type BreakerConfig struct {
+	// Name labels the breaker in transition hooks and telemetry.
+	Name string
+	// FailureThreshold is the number of consecutive failures that trips a
+	// closed breaker open (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker denies calls before admitting
+	// half-open probes (default 250ms).
+	Cooldown time.Duration
+	// ProbeBudget is how many concurrent probe calls a half-open breaker
+	// admits (default 1).
+	ProbeBudget int
+	// Now replaces time.Now in tests for deterministic cooldown handling.
+	Now func() time.Time
+	// OnTransition is invoked (outside the breaker lock) on every state
+	// change.
+	OnTransition func(name string, from, to State)
+}
+
+// Breaker is a per-platform-instance circuit breaker. Callers ask Allow
+// before an attempt and report Success or Failure after it; the breaker
+// trips open after FailureThreshold consecutive failures, denies calls for
+// Cooldown, then admits up to ProbeBudget half-open probes — one probe
+// success re-closes it, one probe failure re-opens it.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped open
+	inFlight int       // admitted half-open probes awaiting a report
+	trips    uint64    // lifetime closed/half-open → open transitions
+}
+
+// NewBreaker builds a Breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 250 * time.Millisecond
+	}
+	if cfg.ProbeBudget <= 0 {
+		cfg.ProbeBudget = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Name returns the configured breaker name.
+func (b *Breaker) Name() string { return b.cfg.Name }
+
+// SetOnTransition installs the transition hook after construction (used to
+// wire telemetry that exists only once the campaign starts).
+func (b *Breaker) SetOnTransition(f func(name string, from, to State)) {
+	b.mu.Lock()
+	b.cfg.OnTransition = f
+	b.mu.Unlock()
+}
+
+// transition changes state under b.mu and returns the hook invocation to run
+// after unlocking (hooks must not run under the lock — they may call back).
+func (b *Breaker) transition(to State) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if to == Open {
+		b.trips++
+		b.openedAt = b.cfg.Now()
+	}
+	if hook := b.cfg.OnTransition; hook != nil {
+		name := b.cfg.Name
+		return func() { hook(name, from, to) }
+	}
+	return nil
+}
+
+// Allow reports whether a call may proceed. An open breaker whose cooldown
+// has elapsed moves to half-open; a half-open breaker admits calls up to its
+// probe budget.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var hook func()
+	ok := false
+	switch b.state {
+	case Closed:
+		ok = true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			hook = b.transition(HalfOpen)
+			b.inFlight = 1
+			ok = true
+		}
+	case HalfOpen:
+		if b.inFlight < b.cfg.ProbeBudget {
+			b.inFlight++
+			ok = true
+		}
+	}
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return ok
+}
+
+// Success reports a successful call. A half-open probe success re-closes the
+// breaker; a closed success resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	var hook func()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.inFlight = 0
+		b.failures = 0
+		hook = b.transition(Closed)
+	case Open:
+		// A stale report from a call admitted before the trip: ignore.
+	}
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Failure reports a failed call. The threshold's worth of consecutive
+// closed failures trips the breaker open; any half-open probe failure
+// re-opens it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	var hook func()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			hook = b.transition(Open)
+		}
+	case HalfOpen:
+		b.inFlight = 0
+		hook = b.transition(Open)
+	case Open:
+		// Stale report; the breaker is already open.
+	}
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// State returns the current state (open breakers past their cooldown still
+// report Open until an Allow promotes them).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

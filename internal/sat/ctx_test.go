@@ -1,0 +1,87 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// pigeonhole adds the n+1-pigeons/n-holes clauses: unsat, and exponentially
+// hard for clause learning without symmetry breaking — a solve that will not
+// finish on its own at n ≳ 10.
+func pigeonhole(s *Solver, n int) {
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := range p {
+		lits := make([]Lit, n)
+		for j := range p[i] {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(MkLit(p[i1][j], true), MkLit(p[i2][j], true))
+			}
+		}
+	}
+}
+
+func TestSolveCancelledContextReturnsUnknown(t *testing.T) {
+	s := New(1)
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve under cancelled context = %v, want Unknown", got)
+	}
+	// Clearing the context restores normal solving on the same instance.
+	s.SetContext(context.Background())
+	if s.ctx != nil {
+		t.Fatal("SetContext(Background) should disable polling entirely")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve after clearing context = %v, want Sat", got)
+	}
+	if !s.Value(a) {
+		t.Fatal("model lost across the Unknown round trip")
+	}
+}
+
+func TestCancelMidSolve(t *testing.T) {
+	s := New(1)
+	pigeonhole(s, 11) // far beyond what finishes in this test's lifetime
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.SetContext(ctx)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got != Unknown {
+		t.Fatalf("cancelled solve = %v, want Unknown", got)
+	}
+	// The conflict-counter poll (every ~1024 conflicts) must notice the
+	// cancellation promptly rather than running the search to completion.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	if s.Conflicts == 0 {
+		t.Fatal("solver returned before doing any search work")
+	}
+	// The search must have been unwound: the solver is reusable.
+	if lvl := s.decisionLevel(); lvl != 0 {
+		t.Fatalf("decision level %d after cancelled solve, want 0", lvl)
+	}
+}

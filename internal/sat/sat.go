@@ -13,7 +13,10 @@
 // search generate nearly identical states (see DESIGN.md §1).
 package sat
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // Lit is a literal: variable index shifted left once, low bit set when the
 // literal is negated. Variables are dense integers starting at 0.
@@ -104,6 +107,27 @@ type Solver struct {
 	// MaxConflicts, when positive, aborts Solve with Unknown after that
 	// many conflicts within one Solve call.
 	MaxConflicts int64
+
+	// ctx, when set, is polled every ctxCheckMask+1 conflicts; a cancelled
+	// context aborts Solve with Unknown (see SetContext).
+	ctx context.Context
+}
+
+// ctxCheckMask throttles context polling to every 1024th conflict: a single
+// conflict is far under a microsecond, so polling each one would make the
+// hot loop pay for cancellation that almost never happens.
+const ctxCheckMask = 1023
+
+// SetContext installs a cancellation context checked during Solve (about
+// every 1024 conflicts, plus once at entry). A cancelled context makes Solve
+// return Unknown with the trail unwound — the solver stays usable, exactly
+// as after a MaxConflicts abort. A nil ctx removes the check.
+func (s *Solver) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		// context.Background and friends can never cancel; skip the polling.
+		ctx = nil
+	}
+	s.ctx = ctx
 }
 
 // Stats is a point-in-time copy of the solver's cumulative search counters,
@@ -481,6 +505,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return Unknown
+	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.unsat = true
@@ -518,6 +545,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			s.decayActivities()
 			if s.MaxConflicts > 0 && s.Conflicts-startConflicts >= s.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.ctx != nil && s.Conflicts&ctxCheckMask == 0 && s.ctx.Err() != nil {
 				s.cancelUntil(0)
 				return Unknown
 			}

@@ -15,6 +15,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -142,6 +143,11 @@ func (s *Solver) CheckUnder(handles ...Handle) sat.Status {
 // CheckUnder queries so each behaves like a fresh solver over the same CNF;
 // see sat.Solver.ResetSearch.
 func (s *Solver) ResetSearch(seed int64) { s.sat.ResetSearch(seed) }
+
+// SetContext installs a cancellation context on the backend SAT solver:
+// a cancelled context makes in-flight and future checks return Unknown
+// instead of searching on. See sat.Solver.SetContext.
+func (s *Solver) SetContext(ctx context.Context) { s.sat.SetContext(ctx) }
 
 func (s *Solver) recordVars(e expr.Expr) {
 	bv := make(map[string]bool)

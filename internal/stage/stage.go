@@ -26,7 +26,9 @@ package stage
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +67,33 @@ type Item[T any] struct {
 // ErrSkipped marks an item that was dropped because its index lies above
 // the failure cutoff; its payload was never computed.
 var ErrSkipped = errors.New("stage: skipped past failure cutoff")
+
+// PanicError wraps a panic recovered from a stage body. The pipeline treats
+// it like any other processing error — the item fails, the failure cutoff
+// protocol applies — instead of letting one pathological program (a lifter
+// or solver panic) crash the whole process. Stack is the panicking
+// goroutine's stack, captured at recovery.
+type PanicError struct {
+	Stage string // stage (or source) name
+	Value any    // the value passed to panic
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("stage %s: panic: %v\n%s", p.Stage, p.Value, p.Stack)
+}
+
+// runItem invokes f, converting a panic into a *PanicError. The item-level
+// work of Source and Attach goes through it so a panicking stage body
+// follows the lowest-index failure protocol like a returned error.
+func runItem[In, Out any](ctx context.Context, name string, in In, f func(context.Context, In) (Out, error)) (out Out, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Stage: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(ctx, in)
+}
 
 // Metrics is one stage's live counter set. All fields are atomic: workers
 // update them concurrently and Snapshot may be read while the pipeline runs.
@@ -201,7 +230,7 @@ func Source[T any](c *Coord, name string, buf, n int, gen func(ctx context.Conte
 				return
 			}
 			t0 := time.Now()
-			v, err := gen(c.ctx, i)
+			v, err := runItem(c.ctx, name, i, gen)
 			m.busyNS.Add(time.Since(t0).Nanoseconds())
 			it := Item[T]{Index: i, Val: v}
 			if err != nil {
@@ -261,7 +290,7 @@ func Attach[In, Out any](c *Coord, s Stage[In, Out], workers, buf int, in <-chan
 					m.skipped.Add(1)
 				default:
 					b0 := time.Now()
-					v, err := s.Run(c.ctx, it.Val)
+					v, err := runItem(c.ctx, s.Name(), it.Val, s.Run)
 					m.busyNS.Add(time.Since(b0).Nanoseconds())
 					if err != nil {
 						c.Fail(it.Index, err)

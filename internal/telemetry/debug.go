@@ -33,6 +33,12 @@ type countersJSON struct {
 	BlastMisses  int64 `json:"blast_misses"`
 	AckReads     int64 `json:"ack_reads"`
 
+	Retries      int64 `json:"retries"`
+	Timeouts     int64 `json:"timeouts"`
+	Skips        int64 `json:"skips"`
+	Quarantines  int64 `json:"quarantines"`
+	BreakerTrips int64 `json:"breaker_trips"`
+
 	Stages []stageJSON `json:"stages,omitempty"`
 }
 
@@ -64,6 +70,11 @@ func countersWire(c Counters) countersJSON {
 		BlastHits:       c.BlastHits,
 		BlastMisses:     c.BlastMisses,
 		AckReads:        c.AckReads,
+		Retries:         c.Retries,
+		Timeouts:        c.Timeouts,
+		Skips:           c.Skips,
+		Quarantines:     c.Quarantines,
+		BreakerTrips:    c.BreakerTrips,
 	}
 	for _, s := range c.Stages {
 		out.Stages = append(out.Stages, stageJSON{

@@ -29,6 +29,23 @@ func RenderProgress(cur, prev Counters, dt time.Duration) string {
 		qps = float64(cur.Queries-prev.Queries) / dt.Seconds()
 	}
 	fmt.Fprintf(&sb, "  queries %d (%.1f/s)", cur.Queries, qps)
+	// Resilience counters appear only once something went wrong: a healthy
+	// campaign's progress line is unchanged.
+	if cur.Retries > 0 || cur.Timeouts > 0 {
+		fmt.Fprintf(&sb, "  retries %d", cur.Retries)
+		if cur.Timeouts > 0 {
+			fmt.Fprintf(&sb, " (%d timeouts)", cur.Timeouts)
+		}
+	}
+	if cur.Skips > 0 {
+		fmt.Fprintf(&sb, "  skips %d", cur.Skips)
+	}
+	if cur.Quarantines > 0 {
+		fmt.Fprintf(&sb, "  quarantined %d", cur.Quarantines)
+	}
+	if cur.BreakerTrips > 0 {
+		fmt.Fprintf(&sb, "  breaker-trips %d", cur.BreakerTrips)
+	}
 
 	// Busy share over the interval: how the pipeline's working time divided
 	// across stages since the previous tick. Relative shares rank the

@@ -35,8 +35,11 @@ import (
 
 // SchemaVersion is the trace schema version stamped on every record.
 // Version 1: kinds "campaign", "span", "query", "verdict" with the fields
-// documented on Record. Readers reject records from a newer schema.
-const SchemaVersion = 1
+// documented on Record. Version 2 adds the resilience kinds "retry",
+// "timeout", "skip", "quarantine", "breaker" (new fields Reason, Attempt,
+// From, To); v1 traces remain loadable. Readers reject records from a newer
+// schema.
+const SchemaVersion = 2
 
 // Record is one JSONL trace line. One flat struct serves all kinds; fields
 // not meaningful for a kind are zero and omitted from the encoding (their
@@ -50,6 +53,12 @@ const SchemaVersion = 1
 //	          plus the solver-effort deltas of this query (Conflicts,
 //	          Decisions, Propagations, BlastHits, BlastMisses, AckReads)
 //	verdict   one executed test case: Prog, Test, Verdict, DurUS
+//	retry     one platform retry: Prog, Test, Attempt (failing attempt,
+//	          0-based), Reason
+//	timeout   one platform attempt hit its deadline: Prog, Test, Attempt
+//	skip      one test abandoned under FailPolicy Degrade: Prog, Test, Reason
+//	quarantine one program quarantined: Prog, Reason
+//	breaker   one circuit-breaker transition: Name, From, To
 type Record struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"`
@@ -78,6 +87,12 @@ type Record struct {
 	BlastHits    int64 `json:"blast_hits,omitempty"`
 	BlastMisses  int64 `json:"blast_misses,omitempty"`
 	AckReads     int64 `json:"ack_reads,omitempty"`
+
+	// Resilience fields (schema v2).
+	Reason  string `json:"reason,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
 }
 
 // QueryEvent is one solver query as reported by the test-case generator.
@@ -130,6 +145,13 @@ type Tracer struct {
 	blastHits    atomic.Int64
 	blastMisses  atomic.Int64
 	ackReads     atomic.Int64
+
+	// Resilience counters (schema v2 kinds).
+	retries      atomic.Int64
+	timeouts     atomic.Int64
+	skips        atomic.Int64
+	quarantines  atomic.Int64
+	breakerTrips atomic.Int64
 
 	stagesMu sync.RWMutex
 	stages   map[string]*stageAgg
@@ -276,6 +298,57 @@ func (t *Tracer) Verdict(prog, test int, verdict string, dur time.Duration) {
 		Verdict: verdict, DurUS: dur.Microseconds()})
 }
 
+// Retry records one platform-execution retry: attempt (0-based) failed with
+// reason and will be re-attempted after backoff.
+func (t *Tracer) Retry(prog, test, attempt int, reason string) {
+	if t == nil {
+		return
+	}
+	t.retries.Add(1)
+	t.write(&Record{Kind: "retry", TSus: t.now(), Prog: prog, Test: test,
+		Attempt: attempt, Reason: reason})
+}
+
+// Timeout records one platform attempt exceeding its per-Execute deadline.
+func (t *Tracer) Timeout(prog, test, attempt int) {
+	if t == nil {
+		return
+	}
+	t.timeouts.Add(1)
+	t.write(&Record{Kind: "timeout", TSus: t.now(), Prog: prog, Test: test, Attempt: attempt})
+}
+
+// Skip records one test case abandoned under FailPolicy Degrade.
+func (t *Tracer) Skip(prog, test int, reason string) {
+	if t == nil {
+		return
+	}
+	t.skips.Add(1)
+	t.write(&Record{Kind: "skip", TSus: t.now(), Prog: prog, Test: test, Reason: reason})
+}
+
+// Quarantine records one program being quarantined after consecutive
+// failures.
+func (t *Tracer) Quarantine(prog int, reason string) {
+	if t == nil {
+		return
+	}
+	t.quarantines.Add(1)
+	t.write(&Record{Kind: "quarantine", TSus: t.now(), Prog: prog, Reason: reason})
+}
+
+// Breaker records one circuit-breaker state transition; transitions into the
+// open state count as trips.
+func (t *Tracer) Breaker(name, from, to string) {
+	if t == nil {
+		return
+	}
+	if to == "open" {
+		t.breakerTrips.Add(1)
+	}
+	t.write(&Record{Kind: "breaker", TSus: t.now(), Name: name, From: from, To: to})
+}
+
 // ProgramDone bumps the completed-program counter behind the progress line.
 func (t *Tracer) ProgramDone() {
 	if t == nil {
@@ -317,6 +390,12 @@ type Counters struct {
 	BlastMisses  int64
 	AckReads     int64
 
+	Retries      int64
+	Timeouts     int64
+	Skips        int64
+	Quarantines  int64
+	BreakerTrips int64
+
 	Stages []StageCount // first-seen (pipeline) order
 }
 
@@ -340,6 +419,11 @@ func (t *Tracer) Snapshot() Counters {
 		BlastHits:       t.blastHits.Load(),
 		BlastMisses:     t.blastMisses.Load(),
 		AckReads:        t.ackReads.Load(),
+		Retries:         t.retries.Load(),
+		Timeouts:        t.timeouts.Load(),
+		Skips:           t.skips.Load(),
+		Quarantines:     t.quarantines.Load(),
+		BreakerTrips:    t.breakerTrips.Load(),
 	}
 	c.QueryP50, c.QueryP95, c.QueryP99 = t.queryHist.Quantiles()
 	t.stagesMu.RLock()

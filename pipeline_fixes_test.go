@@ -1,6 +1,7 @@
 package scamv
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -63,7 +64,7 @@ func progIndex(name string) int {
 	return idx
 }
 
-func (f *failingPlatform) Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
+func (f *failingPlatform) Execute(ctx context.Context, e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
 	idx := progIndex(prog.Name)
 	f.mu.Lock()
 	if f.started == nil {
@@ -74,7 +75,7 @@ func (f *failingPlatform) Execute(e *Experiment, prog *arm.Program, st, train *c
 	if f.fail[idx] {
 		return Measurement{}, fmt.Errorf("injected failure for program %d", idx)
 	}
-	return SimPlatform{}.Execute(e, prog, st, train, noise)
+	return SimPlatform{}.Execute(ctx, e, prog, st, train, noise)
 }
 
 // TestRunParallelErrorDeterministicAndPrompt: with several workers and two

@@ -11,8 +11,18 @@ import (
 // for results produced by the staged engine, by one stage-metrics block per
 // campaign (the Result.Stages spine).
 func FormatTable(results ...*Result) string {
+	// Resilience rows appear only when some result has nonzero counters:
+	// a healthy FailFast campaign renders byte-identically to the
+	// pre-resilience layout.
+	resilienceRows := false
+	for _, r := range results {
+		if r.SkippedTests > 0 || r.QuarantinedPrograms > 0 || r.Retries > 0 ||
+			r.Timeouts > 0 || r.BreakerTrips > 0 {
+			resilienceRows = true
+		}
+	}
 	cols := make([][]string, 0, len(results)+1)
-	cols = append(cols, []string{
+	head := []string{
 		"Model",
 		"Refinement",
 		"Coverage",
@@ -25,14 +35,24 @@ func FormatTable(results ...*Result) string {
 		"- Avg. Exe. time",
 		"- T.T.C.",
 		"- First c.e.",
-	})
+	}
+	if resilienceRows {
+		head = append(head,
+			"- Skipped tests",
+			"- Quarantined",
+			"- Retries",
+			"- Timeouts",
+			"- Breaker trips",
+		)
+	}
+	cols = append(cols, head)
 	for _, r := range results {
 		ttc, first := "-", "-"
 		if r.Found {
 			ttc = fmtDur(r.TTC)
 			first = fmt.Sprintf("p%d/t%d", r.FirstCEProgram, r.FirstCETest)
 		}
-		cols = append(cols, []string{
+		col := []string{
 			r.Model,
 			r.Refinement,
 			r.Coverage,
@@ -45,7 +65,17 @@ func FormatTable(results ...*Result) string {
 			fmtDur(r.AvgExe()),
 			ttc,
 			first,
-		})
+		}
+		if resilienceRows {
+			col = append(col,
+				fmt.Sprintf("%d", r.SkippedTests),
+				fmt.Sprintf("%d", r.QuarantinedPrograms),
+				fmt.Sprintf("%d", r.Retries),
+				fmt.Sprintf("%d", r.Timeouts),
+				fmt.Sprintf("%d", r.BreakerTrips),
+			)
+		}
+		cols = append(cols, col)
 	}
 	widths := make([]int, len(cols))
 	for i, col := range cols {

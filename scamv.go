@@ -128,8 +128,27 @@ type Experiment struct {
 	Trace *telemetry.Tracer
 
 	// Platform executes experiments; nil means the simulated Cortex-A53
-	// (SimPlatform). A deployment against real hardware plugs in here.
+	// (SimPlatform). A deployment against real hardware plugs in here —
+	// possibly wrapped in a MultiPlatform pool or a faultinject chaos
+	// platform.
 	Platform Platform
+
+	// FailPolicy selects what happens when a platform call keeps failing:
+	// FailFast (zero value) aborts the campaign as before, Degrade records
+	// the test as skipped and continues. See resilience.go.
+	FailPolicy FailPolicy
+	// ExecTimeout bounds every platform Execute call (0 = no deadline).
+	// An expired deadline classifies as transient and consumes a retry.
+	ExecTimeout time.Duration
+	// Retries is the per-call retry budget for transient platform errors
+	// (0 = a single attempt, today's semantics).
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubling per
+	// retry with seeded jitter (0 = the resilient default of 1ms).
+	RetryBackoff time.Duration
+	// QuarantineAfter is the number of consecutive failed test cases after
+	// which a program is quarantined under Degrade (default 3).
+	QuarantineAfter int
 
 	// Parallel is the number of programs processed concurrently (<= 1
 	// means sequential). Counts are deterministic regardless of the
@@ -182,6 +201,9 @@ func (e *Experiment) WithDefaults() Experiment {
 	if out.Programs == 0 {
 		out.Programs = 10
 	}
+	if out.QuarantineAfter == 0 {
+		out.QuarantineAfter = 3
+	}
 	return out
 }
 
@@ -232,6 +254,20 @@ type Result struct {
 	// time), in pipeline order. Empty when Monolithic is set. It tells
 	// future optimization work which stage to shard or cache next.
 	Stages []stage.Snapshot
+
+	// Resilience accounting (all zero on a healthy platform). SkippedTests
+	// counts test cases abandoned under FailPolicy Degrade (including the
+	// untried remainder of quarantined programs); QuarantinedPrograms the
+	// programs cut off after QuarantineAfter consecutive failures; Skips
+	// the per-skip reasons in program order. Retries and Timeouts count
+	// resilience-layer events across the campaign; BreakerTrips the circuit
+	// breaker trips of a MultiPlatform pool.
+	SkippedTests        int
+	QuarantinedPrograms int
+	Skips               []Skip
+	Retries             int
+	Timeouts            int
+	BreakerTrips        uint64
 }
 
 // AvgGen returns the mean generation time per experiment.
@@ -317,11 +353,12 @@ func isArchReg(name string) bool {
 // Generator builds the refinement-guided test-case generator for this
 // program.
 func (pl *Pipeline) Generator(e *Experiment, programSeed int64) *core.Generator {
-	return pl.generator(e, programSeed, 0)
+	return pl.generatorCtx(context.Background(), e, programSeed, 0)
 }
 
-// generator is Generator with the program index for query-event tagging.
-func (pl *Pipeline) generator(e *Experiment, programSeed int64, p int) *core.Generator {
+// generatorCtx is Generator with the campaign context (cancellation reaches
+// down into the SAT search) and the program index for query-event tagging.
+func (pl *Pipeline) generatorCtx(ctx context.Context, e *Experiment, programSeed int64, p int) *core.Generator {
 	return core.NewGenerator(pl.Paths, core.Config{
 		Seed:            programSeed,
 		RandomPhaseProb: e.RandomPhaseProb,
@@ -332,6 +369,7 @@ func (pl *Pipeline) generator(e *Experiment, programSeed int64, p int) *core.Gen
 		Legacy:          e.LegacySolver,
 		Trace:           e.Trace,
 		Prog:            p,
+		Ctx:             ctx,
 	})
 }
 
@@ -361,15 +399,26 @@ func (m Measurement) Distinguishable(o Measurement, timing bool) bool {
 // measurement. The default is the simulated Cortex-A53 (SimPlatform);
 // a deployment with real boards would implement this interface against its
 // debug bridge, as the original Scam-V does with EmbExp.
+//
+// Execute must honor ctx: the resilience layer derives a per-call deadline
+// from Experiment.ExecTimeout, and campaign cancellation flows through the
+// same context. A platform that can hang (a wedged board, a stuck bridge)
+// must select on ctx.Done so the campaign can cut it loose. Errors may be
+// classified with resilient.MarkTransient / resilient.MarkPermanent;
+// unclassified errors are treated as transient (retryable).
 type Platform interface {
-	Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error)
+	Execute(ctx context.Context, e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error)
 }
 
 // SimPlatform runs experiments on the internal/micro simulator.
 type SimPlatform struct{}
 
-// Execute implements Platform.
-func (SimPlatform) Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
+// Execute implements Platform. The simulator never blocks, so ctx is only
+// honored between runs.
+func (SimPlatform) Execute(ctx context.Context, e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, err
+	}
 	m := micro.New(e.Micro)
 	if e.Speculative && train != nil {
 		for i := 0; i < e.TrainRuns; i++ {
@@ -391,34 +440,13 @@ func (SimPlatform) Execute(e *Experiment, prog *arm.Program, st, train *core.Sta
 	return Measurement{Snapshot: m.Cache.Snapshot(e.AttackerView), Cycles: m.Cycles}, nil
 }
 
-// ExecuteTestCase runs a test case Repeats times and classifies it.
+// ExecuteTestCase runs a test case Repeats times and classifies it. Errors
+// are wrapped with the repeat number and which of the two states (S1/S2) was
+// running; inside a campaign the engines add the program and test indexes.
+// The retry/timeout policy of the experiment applies (see resilience.go).
 func (pl *Pipeline) ExecuteTestCase(e *Experiment, tc *core.TestCase, train *core.State, noiseSeed int64) (Verdict, error) {
-	var verdict Verdict
-	for rep := 0; rep < e.Repeats; rep++ {
-		var n1, n2 *rand.Rand
-		if e.Micro.NoiseProb > 0 {
-			n1 = rand.New(rand.NewSource(noiseSeed + int64(rep)*2))
-			n2 = rand.New(rand.NewSource(noiseSeed + int64(rep)*2 + 1))
-		}
-		m1, err := e.platform().Execute(e, pl.Prog, tc.S1, train, n1)
-		if err != nil {
-			return 0, err
-		}
-		m2, err := e.platform().Execute(e, pl.Prog, tc.S2, train, n2)
-		if err != nil {
-			return 0, err
-		}
-		d := Indistinguishable
-		if m1.Distinguishable(m2, e.TimingAttacker) {
-			d = Counterexample
-		}
-		if rep == 0 {
-			verdict = d
-		} else if d != verdict {
-			return Inconclusive, nil
-		}
-	}
-	return verdict, nil
+	v, _, err := pl.executeTestCase(context.Background(), e, -1, -1, tc, train, noiseSeed)
+	return v, err
 }
 
 // programResult is one program's contribution to the campaign Result,
@@ -436,6 +464,13 @@ type programResult struct {
 	firstCETest     int // test index of the first counterexample, -1 if none
 	ttcWall         time.Duration
 	records         []logdb.Record
+
+	// Resilience accounting under FailPolicy Degrade (see resilience.go).
+	skippedTests int
+	quarantined  bool
+	skips        []Skip
+	retries      int
+	timeouts     int
 }
 
 func wordsEqual(a, b []uint32) bool {
@@ -506,10 +541,10 @@ type genOut struct {
 // generator for program p until TestsPerProgram cases exist or the relation
 // is exhausted. Generation never depends on execution results, which is
 // what lets the staged engine overlap it with the Execute stage.
-func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
+func generateTests(ctx context.Context, e *Experiment, pl *Pipeline, p int) genOut {
 	var out genOut
 	spanStart := time.Now()
-	g := pl.generator(e, e.Seed+int64(p)+1, p)
+	g := pl.generatorCtx(ctx, e, e.Seed+int64(p)+1, p)
 	for t := 0; t < e.TestsPerProgram; t++ {
 		genStart := time.Now()
 		tc, ok := g.Next()
@@ -527,11 +562,15 @@ func generateTests(e *Experiment, pl *Pipeline, p int) genOut {
 }
 
 // executeProgram is the Execute stage body: it runs every generated test
-// case of program p on the platform and classifies the verdicts.
-func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
+// case of program p on the platform and classifies the verdicts. Under
+// FailPolicy Degrade a test whose retry budget is exhausted becomes a skip
+// record instead of a campaign abort, and QuarantineAfter consecutive
+// failures quarantine the program (its remaining tests count as skipped).
+func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
 	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1}
 	spanStart := time.Now()
 	trainCache := map[int]*core.State{}
+	consecutive := 0
 	for t, tc := range g.tests {
 		var train *core.State
 		if e.Speculative {
@@ -543,12 +582,30 @@ func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Tim
 			}
 		}
 		exeStart := time.Now()
-		verdict, err := pl.ExecuteTestCase(e, tc, train, noiseSeed(e.Seed, p, t))
+		verdict, stats, err := pl.executeTestCase(ctx, e, p, t, tc, train, noiseSeed(e.Seed, p, t))
 		exeDur := time.Since(exeStart)
 		out.exeTime += exeDur
+		out.retries += stats.retries
+		out.timeouts += stats.timeouts
 		if err != nil {
-			return nil, err
+			if e.FailPolicy != Degrade || ctx.Err() != nil {
+				return nil, err
+			}
+			out.skippedTests++
+			out.skips = append(out.skips, Skip{Prog: p, Test: t, Reason: err.Error()})
+			e.Trace.Skip(p, t, err.Error())
+			consecutive++
+			if consecutive >= e.QuarantineAfter {
+				out.skippedTests += len(g.tests) - t - 1
+				out.quarantined = true
+				reason := fmt.Sprintf("quarantined after %d consecutive failures (last: %v)", consecutive, err)
+				out.skips = append(out.skips, Skip{Prog: p, Test: -1, Reason: reason})
+				e.Trace.Quarantine(p, reason)
+				break
+			}
+			continue
 		}
+		consecutive = 0
 		e.Trace.Verdict(p, t, verdict.String(), exeDur)
 		out.experiments++
 		switch verdict {
@@ -587,7 +644,7 @@ func executeProgram(e *Experiment, pl *Pipeline, p int, g genOut, start time.Tim
 // It is the unit of parallelism of the monolithic engine, and it composes
 // exactly the same stage bodies the staged engine wires through channels —
 // which is what keeps the two engines seed-for-seed identical.
-func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
+func runProgram(ctx context.Context, e *Experiment, prog *arm.Program, p int, start time.Time) (*programResult, error) {
 	t0 := time.Now()
 	prog, fallback := encodeRoundTrip(prog)
 	e.Trace.Span("encode", p, t0)
@@ -595,7 +652,7 @@ func runProgram(e *Experiment, prog *arm.Program, p int, start time.Time) (*prog
 	if err != nil {
 		return nil, err
 	}
-	out, err := executeProgram(e, pl, p, generateTests(e, pl, p), start)
+	out, err := executeProgram(ctx, e, pl, p, generateTests(ctx, e, pl, p), start)
 	if err != nil {
 		return nil, err
 	}
@@ -618,6 +675,13 @@ func (res *Result) mergeProgram(e *Experiment, p int, out *programResult) error 
 	res.Queries += out.queries
 	res.GenTime += out.genTime
 	res.ExeTime += out.exeTime
+	res.SkippedTests += out.skippedTests
+	if out.quarantined {
+		res.QuarantinedPrograms++
+	}
+	res.Skips = append(res.Skips, out.skips...)
+	res.Retries += out.retries
+	res.Timeouts += out.timeouts
 	if out.found {
 		res.ProgramsWithCounter++
 		if !res.Found {
@@ -666,6 +730,9 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 		FirstCETest:    -1,
 	}
 	e.Trace.BeginCampaign(e.Name, e.Programs)
+	if mp, ok := e.Platform.(*MultiPlatform); ok {
+		mp.setTracer(e.Trace)
+	}
 	start := time.Now()
 	var err error
 	if e.Monolithic {
@@ -675,6 +742,11 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Harvest breaker trips from pooled platforms (MultiPlatform, or any
+	// custom platform exposing the same counter).
+	if bt, ok := e.Platform.(interface{ BreakerTrips() uint64 }); ok {
+		res.BreakerTrips = bt.BreakerTrips()
 	}
 	return res, nil
 }
@@ -704,7 +776,7 @@ func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.T
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			out, err := runProgram(e, prog, p, start)
+			out, err := runProgram(ctx, e, prog, p, start)
 			if err != nil {
 				return err
 			}
@@ -733,7 +805,7 @@ func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.T
 					if int64(p) > stopAt.Load() || ctx.Err() != nil {
 						continue
 					}
-					out, err := runProgram(e, progs[p], p, start)
+					out, err := runProgram(ctx, e, progs[p], p, start)
 					mu.Lock()
 					if err != nil && int64(p) < stopAt.Load() {
 						runErr = fmt.Errorf("scamv: program %d: %w", p, err)

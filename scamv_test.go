@@ -2,6 +2,7 @@ package scamv
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -394,8 +395,8 @@ func TestCampaignMTimeShape(t *testing.T) {
 // exercising the Platform extension point.
 type constantTimePlatform struct{ inner SimPlatform }
 
-func (p constantTimePlatform) Execute(e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
-	m, err := p.inner.Execute(e, prog, st, train, noise)
+func (p constantTimePlatform) Execute(ctx context.Context, e *Experiment, prog *arm.Program, st, train *core.State, noise *rand.Rand) (Measurement, error) {
+	m, err := p.inner.Execute(ctx, e, prog, st, train, noise)
 	m.Cycles = 0
 	return m, err
 }

@@ -100,19 +100,21 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 		},
 	}, heavy, buf, encoded)
 
-	// TestGen: refinement-guided test-case generation (core.Generator).
+	// TestGen: refinement-guided test-case generation (core.Generator). The
+	// stage context reaches the SAT search, so cancellation does not block
+	// behind a pathological query.
 	genned := stage.Attach(c, stage.Func[stagePrepared, stageGenned]{
 		StageName: "testgen",
-		F: func(_ context.Context, in stagePrepared) (stageGenned, error) {
-			return stageGenned{p: in.p, pl: in.pl, gen: generateTests(e, in.pl, in.p), fallback: in.fallback}, nil
+		F: func(sctx context.Context, in stagePrepared) (stageGenned, error) {
+			return stageGenned{p: in.p, pl: in.pl, gen: generateTests(sctx, e, in.pl, in.p), fallback: in.fallback}, nil
 		},
 	}, heavy, buf, prepared)
 
 	// Execute: run every test case on the Platform and classify verdicts.
 	executed := stage.Attach(c, stage.Func[stageGenned, *programResult]{
 		StageName: "execute",
-		F: func(_ context.Context, in stageGenned) (*programResult, error) {
-			out, err := executeProgram(e, in.pl, in.p, in.gen, start)
+		F: func(sctx context.Context, in stageGenned) (*programResult, error) {
+			out, err := executeProgram(sctx, e, in.pl, in.p, in.gen, start)
 			if err != nil {
 				return nil, err
 			}
