@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race chaos-smoke fuzz-smoke bench-gen bench-campaign bench-telemetry bench
+.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench
 
-ci: build vet race bench-gen
+ci: build vet race portfolio-smoke bench-gen
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ fuzz-smoke:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzSMTModelSoundness$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzBitblastVsEval$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzLifterVsMicro$$' -fuzztime $(FUZZTIME)
+
+# Portfolio smoke: a one-program MLine campaign with racing CDCL workers,
+# the shared shape cache and staged parallelism all on, under the race
+# detector — the solving stack's full concurrency mix in miniature.
+portfolio-smoke:
+	$(GO) test -race -count=1 -run TestPortfolioSmokeRace .
+
+# Portfolio/shape-cache benchmark: runs the MLine campaign in the plain
+# incremental, cache-only, portfolio-1/4 and portfolio-4+cache modes and
+# writes BENCH_portfolio.json (gen time, per-mode speedups, cache traffic).
+# Counts must agree across modes; the wall-clock speedup target applies on
+# multi-core runners only (racing needs cores to win).
+bench-portfolio:
+	BENCH_PORTFOLIO=1 $(GO) test -run TestWriteBenchPortfolio -count=1 -v .
 
 # Generation-throughput benchmark: runs the MLine campaign in incremental
 # and legacy solver modes and writes BENCH_gen.json (queries/s, GenTime per

@@ -43,15 +43,15 @@ type benchGenRow struct {
 	QueriesPerSec   float64 `json:"queries_per_sec"`
 }
 
-func benchGenRun(t *testing.T, legacy bool) benchGenRow {
+func benchGenRun(t *testing.T, mode string, mutate func(*Experiment)) benchGenRow {
 	t.Helper()
-	res, err := Run(benchGenCampaign(legacy))
+	e := benchGenCampaign(false)
+	if mutate != nil {
+		mutate(&e)
+	}
+	res, err := Run(e)
 	if err != nil {
 		t.Fatal(err)
-	}
-	mode := "incremental"
-	if legacy {
-		mode = "legacy"
 	}
 	row := benchGenRow{
 		Mode:            mode,
@@ -84,12 +84,24 @@ func TestWriteBenchGen(t *testing.T) {
 	if os.Getenv("BENCH_GEN") == "" {
 		t.Skip("set BENCH_GEN=1 to run the generation benchmark")
 	}
-	inc := benchGenRun(t, false)
-	leg := benchGenRun(t, true)
+	inc := benchGenRun(t, "incremental", nil)
+	leg := benchGenRun(t, "legacy", func(e *Experiment) { e.LegacySolver = true })
+	por := benchGenRun(t, "portfolio-4+cache", func(e *Experiment) {
+		e.Portfolio = 4
+		e.SharedCache = true
+	})
 	if inc.Experiments != leg.Experiments ||
 		inc.Counterexamples != leg.Counterexamples ||
 		inc.Inconclusive != leg.Inconclusive {
 		t.Errorf("verdict counts diverge between modes:\nincremental %+v\nlegacy      %+v", inc, leg)
+	}
+	// The portfolio row must ask the same questions; its counterexample
+	// count may differ slightly from the plain incremental baseline (learnt
+	// clauses rewound per query — see TestWriteBenchPortfolio), so only
+	// experiment/query parity is asserted here.
+	if por.Experiments != inc.Experiments || por.Queries != inc.Queries ||
+		por.Inconclusive != inc.Inconclusive {
+		t.Errorf("portfolio row diverges from baseline:\nportfolio   %+v\nincremental %+v", por, inc)
 	}
 	speedup := 0.0
 	if inc.GenTimeMS > 0 {
@@ -102,6 +114,7 @@ func TestWriteBenchGen(t *testing.T) {
 		Classes     int           `json:"classes"`
 		Incremental benchGenRow   `json:"incremental"`
 		Legacy      benchGenRow   `json:"legacy"`
+		Portfolio   benchGenRow   `json:"portfolio"`
 		Speedup     float64       `json:"gen_time_speedup"`
 		Rows        []benchGenRow `json:"-"`
 	}{
@@ -111,6 +124,7 @@ func TestWriteBenchGen(t *testing.T) {
 		Classes:     128,
 		Incremental: inc,
 		Legacy:      leg,
+		Portfolio:   por,
 		Speedup:     speedup,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

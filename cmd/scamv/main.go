@@ -51,6 +51,8 @@ func main() {
 		retries   = flag.Int("retries", 0, "retry budget per execution for transient failures")
 		policy    = flag.String("fail-policy", "failfast", "on exhausted retries: failfast (abort campaign) or degrade (skip and continue)")
 		chaos     = flag.String("chaos", "off", "fault-injection profile: off, light, or heavy (deterministic per -seed)")
+		portfolio = flag.Int("portfolio", 0, "race N diversified CDCL workers per solver query (0 = single solver; results identical at any N)")
+		shared    = flag.Bool("shared-cache", false, "share one blast cache per template shape across the campaign (results identical on or off)")
 	)
 	flag.Parse()
 
@@ -136,6 +138,8 @@ func main() {
 		e.ExecTimeout = *execTO
 		e.Retries = *retries
 		e.FailPolicy = failPolicy
+		e.Portfolio = *portfolio
+		e.SharedCache = *shared
 		if chaosProf.Name != "off" {
 			e.Platform = faultinject.New(e.Platform, chaosProf, *seed)
 		}

@@ -76,6 +76,19 @@ type Config struct {
 	// on top. Kept for A/B benchmarking of the shared-prefix reuse.
 	Legacy bool
 
+	// Portfolio, when >= 1, backs every solver with a portfolio of that many
+	// diversified CDCL workers racing each query. Worker 0 is canonical, so
+	// results are byte-identical to Portfolio = 0 at any size (see
+	// sat.Portfolio). 0 keeps the classic single-solver backend.
+	Portfolio int
+
+	// ShapeCache, when non-nil, is the campaign-scoped prototype cache:
+	// pair-relation solvers for alpha-equivalent formula shapes (programs of
+	// one template differing only in register allocation) are cloned from one
+	// shared encoding instead of re-blasted per program. Ignored in Legacy
+	// mode. Safe to share across concurrent generators.
+	ShapeCache *smt.ShapeCache
+
 	// Trace, when non-nil, receives one telemetry query event per solver
 	// query, carrying the effort deltas (SAT conflicts/decisions/
 	// propagations, blast-cache hits/misses, Ackermann expansions) that
@@ -340,34 +353,55 @@ func (g *Generator) streamSeed(k genKey) int64 {
 	return g.cfg.Seed*1000003 + int64(k.a)*8191 + int64(k.b)*131 + int64(k.class)*7 + int64(k.slot)
 }
 
-// assertPrefix installs the class-independent part of a stream's formula:
-// the pair relation for the slot, plus the requirement that the two register
+// prefixFormulas is the class-independent part of a stream's formula: the
+// pair relation for the slot, plus the requirement that the two register
 // vectors differ somewhere (a test case of two identical states is vacuous).
-func (g *Generator) assertPrefix(s *smt.Solver, a, b, slot int) {
+func (g *Generator) prefixFormulas(a, b, slot int) []expr.BoolExpr {
 	pa, pb := g.paths[a], g.paths[b]
-	s.Assert(PairRelationSlot(pa, pb, g.cfg.Refined, slot))
+	out := []expr.BoolExpr{PairRelationSlot(pa, pb, g.cfg.Refined, slot)}
 	var diff []expr.BoolExpr
 	for _, r := range g.cfg.Registers {
 		diff = append(diff, expr.Neq(
 			expr.NewVar(r+sfx1, 64), expr.NewVar(r+sfx2, 64)))
 	}
 	if len(diff) > 0 {
-		s.Assert(expr.OrB(diff...))
+		out = append(out, expr.OrB(diff...))
+	}
+	return out
+}
+
+// assertPrefix installs the prefix formulas on a fresh solver (legacy path).
+func (g *Generator) assertPrefix(s *smt.Solver, a, b, slot int) {
+	for _, f := range g.prefixFormulas(a, b, slot) {
+		s.Assert(f)
 	}
 }
 
-// newPairState builds the shared solver for one (path pair, slot).
+// newPairState builds the shared solver for one (path pair, slot), cloning a
+// cached prototype when the campaign shape cache is enabled.
 func (g *Generator) newPairState(pk pairKey) *pairState {
 	seed := g.cfg.Seed*1000003 + int64(pk.a)*8191 + int64(pk.b)*131 + int64(pk.slot)
-	s := smt.New(smt.Options{
+	opts := smt.Options{
 		Seed:            seed,
 		RandomPhaseProb: g.cfg.RandomPhaseProb,
 		MaxConflicts:    g.cfg.MaxConflicts,
-	})
-	if g.cfg.Ctx != nil {
-		s.SetContext(g.cfg.Ctx)
+		Portfolio:       g.cfg.Portfolio,
 	}
-	g.assertPrefix(s, pk.a, pk.b, pk.slot)
+	var s *smt.Solver
+	if g.cfg.ShapeCache != nil {
+		var hit bool
+		s, hit = g.cfg.ShapeCache.Instantiate(opts, g.prefixFormulas(pk.a, pk.b, pk.slot))
+		g.cfg.Trace.ShapeLookup(g.cfg.Prog, hit)
+		if g.cfg.Ctx != nil {
+			s.SetContext(g.cfg.Ctx)
+		}
+	} else {
+		s = smt.New(opts)
+		if g.cfg.Ctx != nil {
+			s.SetContext(g.cfg.Ctx)
+		}
+		g.assertPrefix(s, pk.a, pk.b, pk.slot)
+	}
 	return &pairState{solver: s, prefixNames: s.VarNames(), handles: make(map[int]smt.Handle)}
 }
 
@@ -377,6 +411,7 @@ func (g *Generator) newStream(k genKey) *stream {
 			Seed:            g.streamSeed(k),
 			RandomPhaseProb: g.cfg.RandomPhaseProb,
 			MaxConflicts:    g.cfg.MaxConflicts,
+			Portfolio:       g.cfg.Portfolio,
 		})
 		if g.cfg.Ctx != nil {
 			s.SetContext(g.cfg.Ctx)
@@ -493,6 +528,7 @@ func (g *Generator) Next() (*TestCase, bool) {
 				Status: statusName(status), Dur: time.Since(t0),
 				Conflicts: d.Conflicts, Decisions: d.Decisions, Propagations: d.Propagations,
 				BlastHits: d.BlastHits, BlastMisses: d.BlastMisses, AckReads: d.AckermannReads,
+				Winner: solver.LastWinner(), SharedClauses: d.SharedClauses,
 			})
 		}
 		switch status {

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"fmt"
+
+	"scamv/internal/sat"
+)
+
+// This file extends the SAT differential to the portfolio backend. A
+// portfolio answer has two extra ways to be wrong that a lone solver does
+// not: a diversified helper configuration can be unsound on its own (a
+// "lying worker" whose restart policy or phase noise breaks an invariant),
+// and the clause-share pool can leak an unimplied clause into every helper
+// at once. DiffPortfolio therefore checks three layers: the racing
+// portfolio against brute force, each diversified configuration solo
+// against brute force, and the canonical-model contract (a portfolio Sat
+// model must be exactly the lone base-config solver's model, for any N).
+
+// ConfigSolve adapts a fresh solver with the given search configuration to
+// a SolveFunc — the solo-replay path for auditing one diversified worker
+// outside the race.
+func ConfigSolve(cfg sat.Config) SolveFunc {
+	return func(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) (sat.Status, []bool) {
+		s := sat.NewWithConfig(cfg)
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				break // trivially unsat; Solve will confirm
+			}
+		}
+		st := s.Solve(assumptions...)
+		if st != sat.Sat {
+			return st, nil
+		}
+		return st, s.Model()
+	}
+}
+
+// PortfolioSolve adapts a fresh n-worker portfolio (default diversification
+// over the given seed) to a SolveFunc.
+func PortfolioSolve(seed int64, n int) SolveFunc {
+	return func(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) (sat.Status, []bool) {
+		p := sat.NewPortfolio(sat.DefaultPortfolioConfigs(sat.Config{Seed: seed}, n))
+		for v := 0; v < nVars; v++ {
+			p.NewVar()
+		}
+		for _, c := range clauses {
+			if !p.AddClause(c...) {
+				break
+			}
+		}
+		st := p.Solve(assumptions...)
+		if st != sat.Sat {
+			return st, nil
+		}
+		return st, p.Model()
+	}
+}
+
+// DiffPortfolio cross-checks the portfolio backend against the brute-force
+// oracle on one CNF: the n-worker race as a whole, then every diversified
+// worker configuration replayed solo, and finally the canonical-model
+// contract — when both answer Sat, the portfolio's model must equal the
+// lone base-config solver's bit for bit, because worker 0 is the only
+// worker whose models a portfolio may report. The returned error, when
+// non-nil, names the layer that disagreed.
+func DiffPortfolio(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit, seed int64, n int) error {
+	psolve := PortfolioSolve(seed, n)
+	if err := DiffSAT(nVars, clauses, assumptions, psolve); err != nil {
+		return fmt.Errorf("portfolio-%d race: %w", n, err)
+	}
+	cfgs := sat.DefaultPortfolioConfigs(sat.Config{Seed: seed}, n)
+	for i, cfg := range cfgs {
+		if err := DiffSAT(nVars, clauses, assumptions, ConfigSolve(cfg)); err != nil {
+			return fmt.Errorf("worker %d solo (decay=%v base=%v geom=%v): %w",
+				i, cfg.VarDecay, cfg.RestartBase, cfg.RestartGeometric, err)
+		}
+	}
+	stP, mP := psolve(nVars, clauses, assumptions)
+	stS, mS := ConfigSolve(cfgs[0])(nVars, clauses, assumptions)
+	if stP == sat.Sat && stS == sat.Sat {
+		for v := 0; v < nVars; v++ {
+			if mP[v] != mS[v] {
+				return fmt.Errorf("oracle: portfolio-%d model differs from canonical worker at var %d", n, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"scamv/internal/sat"
+)
+
+func TestDiffPortfolioAgreesOnRandomCNF(t *testing.T) {
+	r := rand.New(rand.NewSource(2021))
+	for i := 0; i < 60; i++ {
+		nVars, clauses := RandomCNF(r, 10, 20)
+		var assumptions []sat.Lit
+		for j, n := 0, r.Intn(3); j < n; j++ {
+			assumptions = append(assumptions, sat.MkLit(r.Intn(nVars), r.Intn(2) == 1))
+		}
+		for _, n := range []int{1, 2, 4} {
+			if err := DiffPortfolio(nVars, clauses, assumptions, int64(i), n); err != nil {
+				t.Fatalf("iter %d portfolio-%d: %v", i, n, err)
+			}
+		}
+	}
+}
+
+// poisonedCNF is a satisfiable formula engineered so a two-worker race with
+// teethConfigs deterministically exposes an unsound clause pool: the unit
+// clause pins x0 true at level 0, and the two conflict gadgets force any
+// zero-default-phase search through at least two conflicts before reaching
+// the model (x0=x1=x2=1).
+func poisonedCNF() (int, [][]sat.Lit) {
+	x0, x1 := sat.MkLit(0, false), sat.MkLit(1, false)
+	x2, x3 := sat.MkLit(2, false), sat.MkLit(3, false)
+	return 4, [][]sat.Lit{
+		{x0},
+		{x1, x2}, {x1, x2.Neg()}, // deciding x1=0 conflicts; learns x1
+		{x1.Neg(), x2, x3}, {x1.Neg(), x2, x3.Neg()}, // deciding x2=0 conflicts; learns x2
+	}
+}
+
+// teethConfigs is the two-worker setup of the lying-worker repro: worker 0
+// gives up after one conflict (so the helper's verdict decides the race)
+// and the helper restarts after every conflict (so it syncs with the share
+// pool at the earliest opportunity).
+func teethConfigs() []sat.Config {
+	return []sat.Config{
+		{Seed: 1, MaxConflicts: 1},
+		{Seed: 2, RestartBase: 1},
+	}
+}
+
+// TestDiffPortfolioCatchesPoisonedSharePool proves the portfolio
+// differential has teeth: a helper whose restart policy makes it import an
+// unimplied clause from the share pool wrongly proves Unsat on a
+// satisfiable formula, and the brute-force cross-check flags it. The lie is
+// injected through the pool (Export of ¬x0 against the formula's unit x0),
+// which is exactly how a soundness bug in clause sharing would surface.
+func TestDiffPortfolioCatchesPoisonedSharePool(t *testing.T) {
+	nVars, clauses := poisonedCNF()
+
+	if st, _ := BruteSolve(nVars, clauses); st != sat.Sat {
+		t.Fatalf("repro formula must be satisfiable, brute says %v", st)
+	}
+	// Worker 0's one-conflict budget must not reach the model: the race
+	// outcome then rests entirely on the helper.
+	if st, _ := ConfigSolve(teethConfigs()[0])(nVars, clauses, nil); st != sat.Unknown {
+		t.Fatalf("canonical worker should exhaust its budget, got %v", st)
+	}
+
+	build := func() *sat.Portfolio {
+		p := sat.NewPortfolio(teethConfigs())
+		for v := 0; v < nVars; v++ {
+			p.NewVar()
+		}
+		for _, c := range clauses {
+			p.AddClause(c...)
+		}
+		return p
+	}
+
+	// Clean pool: the helper restarts, finds nothing to import, and answers
+	// Sat — which the race discards (only worker 0 reports models), so the
+	// portfolio honestly admits Unknown.
+	if st := build().Solve(); st != sat.Unknown {
+		t.Fatalf("clean pool: got %v, want Unknown", st)
+	}
+
+	// Poisoned pool: ¬x0 contradicts the formula's level-0 unit x0, so the
+	// helper's first restart import yields a top-level conflict and a bogus
+	// Unsat that decides the race.
+	lying := func(nv int, cs [][]sat.Lit, as []sat.Lit) (sat.Status, []bool) {
+		p := sat.NewPortfolio(teethConfigs())
+		for v := 0; v < nv; v++ {
+			p.NewVar()
+		}
+		for _, c := range cs {
+			p.AddClause(c...)
+		}
+		if !p.SharedPool().Export([]sat.Lit{sat.MkLit(0, true)}) {
+			t.Fatal("poison clause rejected by the pool")
+		}
+		st := p.Solve(as...)
+		if st != sat.Sat {
+			return st, nil
+		}
+		return st, p.Model()
+	}
+	err := DiffSAT(nVars, clauses, nil, lying)
+	if err == nil {
+		t.Fatal("poisoned share pool not caught by the differential")
+	}
+	t.Logf("differential caught the lie: %v", err)
+}
+
+// TestPortfolioModelIndependentOfSize spot-checks the canonical-model
+// contract directly: on satisfiable CNFs the reported model is identical at
+// every portfolio size (already enforced inside DiffPortfolio; this pins it
+// on formulas with many models where helpers genuinely find different ones).
+func TestPortfolioModelIndependentOfSize(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 40 && checked < 10; i++ {
+		nVars, clauses := RandomCNF(r, 8, 10)
+		st, want := PortfolioSolve(99, 1)(nVars, clauses, nil)
+		if st != sat.Sat {
+			continue
+		}
+		checked++
+		for _, n := range []int{2, 3, 4, 6} {
+			st2, got := PortfolioSolve(99, n)(nVars, clauses, nil)
+			if st2 != sat.Sat {
+				t.Fatalf("iter %d: portfolio-%d says %v on a sat formula", i, n, st2)
+			}
+			for v := 0; v < nVars; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("iter %d: portfolio-%d model differs at var %d", i, n, v)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no satisfiable formulas generated")
+	}
+}

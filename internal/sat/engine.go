@@ -1,0 +1,36 @@
+package sat
+
+import "context"
+
+// Engine is the solving interface shared by a single CDCL Solver and a
+// Portfolio of diversified workers. The bit-blaster and the SMT layer
+// program against it, so a campaign can swap a portfolio in underneath an
+// unchanged encoding.
+type Engine interface {
+	// NewVar allocates a fresh variable and returns its index.
+	NewVar() int
+	// NumVars returns the number of allocated variables.
+	NumVars() int
+	// AddClause adds a clause; it returns false when the formula becomes
+	// trivially unsatisfiable.
+	AddClause(lits ...Lit) bool
+	// BoostVar raises a variable's initial branching activity.
+	BoostVar(v int, amount float64)
+	// Solve searches under the given assumptions.
+	Solve(assumptions ...Lit) Status
+	// Value reads variable v in the most recent model.
+	Value(v int) bool
+	// Model copies the most recent satisfying assignment.
+	Model() []bool
+	// ResetSearch rewinds search heuristics to their initial state.
+	ResetSearch(seed int64)
+	// SetContext installs a cancellation context for subsequent Solves.
+	SetContext(ctx context.Context)
+	// Stats snapshots cumulative search counters.
+	Stats() Stats
+}
+
+var (
+	_ Engine = (*Solver)(nil)
+	_ Engine = (*Portfolio)(nil)
+)

@@ -11,6 +11,13 @@
 // are: unconstrained bitvector variables come out as zero. This property is
 // load-bearing for the reproduction — it is what makes *unguided* test-case
 // search generate nearly identical states (see DESIGN.md §1).
+//
+// Clauses live in a flat arena (one literal slice plus fixed-size headers,
+// referenced by index) rather than as individually allocated objects. That
+// keeps the allocator and garbage collector out of the encoding hot path and
+// makes Clone a handful of bulk copies, which is what the campaign-scoped
+// shape cache (internal/smt) relies on to instantiate prototype solvers
+// cheaply.
 package sat
 
 import (
@@ -40,8 +47,16 @@ func (l Lit) Neg() Lit { return l ^ 1 }
 // Sign reports whether the literal is negated.
 func (l Lit) Sign() bool { return l&1 == 1 }
 
-type clause struct {
-	lits   []Lit
+// cref is a clause reference: an index into the solver's clause headers.
+// crefNone marks "no reason clause".
+type cref = int32
+
+const crefNone cref = -1
+
+// clsHead locates one clause in the literal arena.
+type clsHead struct {
+	off    int32
+	size   int32
 	learnt bool
 }
 
@@ -66,14 +81,16 @@ func (s Status) String() string {
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
-// New.
+// New or NewWithConfig.
 type Solver struct {
-	clauses []*clause // problem + learnt clauses
-	watches [][]*clause
+	arena []Lit     // all clause literals, clause-contiguous
+	heads []clsHead // problem + learnt clauses, in addition order
+
+	watches [][]cref
 
 	assigns  []int8 // 0 = unassigned, 1 = true, -1 = false
 	level    []int32
-	reason   []*clause
+	reason   []cref
 	trail    []Lit
 	trailLim []int32
 	qhead    int
@@ -96,17 +113,42 @@ type Solver struct {
 	RandomVarProb float64
 	rng           *rand.Rand
 
+	// varDecay and restart policy come from Config (New uses the classic
+	// defaults: decay 0.95, Luby restarts with base 100).
+	varDecay    float64
+	restartBase int64
+	restartGeom bool
+
 	unsat bool // top-level conflict found
+	dirty bool // propagation has permuted clause lits / watch lists
 
 	// Stats
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
 	Learnt       int64
+	SharedIn     int64 // clauses imported from a ClauseShare pool
+	SharedOut    int64 // clauses exported to a ClauseShare pool
 
 	// MaxConflicts, when positive, aborts Solve with Unknown after that
 	// many conflicts within one Solve call.
 	MaxConflicts int64
+
+	// Clause sharing (portfolio workers only; see ClauseShare). share is
+	// consulted at restart boundaries: learnt clauses up to shareMaxLen
+	// literals are exported, and — when shareImport is set — foreign clauses
+	// are imported as learnt clauses.
+	share       *ClauseShare
+	shareCursor int // pool index imported up to
+	shareImport bool
+	shareMaxLen int
+	lastExport  int // heads index exported up to
+
+	// Scratch buffers reused across conflicts; their contents never survive
+	// a call.
+	addTmp    []Lit
+	learntTmp []Lit
+	seenTmp   []int
 
 	// ctx, when set, is polled every ctxCheckMask+1 conflicts; a cancelled
 	// context aborts Solve with Unknown (see SetContext).
@@ -137,6 +179,8 @@ type Stats struct {
 	Decisions    int64
 	Propagations int64
 	Learnt       int64
+	SharedIn     int64
+	SharedOut    int64
 }
 
 // Stats snapshots the search counters.
@@ -146,6 +190,8 @@ func (s *Solver) Stats() Stats {
 		Decisions:    s.Decisions,
 		Propagations: s.Propagations,
 		Learnt:       s.Learnt,
+		SharedIn:     s.SharedIn,
+		SharedOut:    s.SharedOut,
 	}
 }
 
@@ -157,13 +203,29 @@ func (st Stats) Sub(prev Stats) Stats {
 		Decisions:    st.Decisions - prev.Decisions,
 		Propagations: st.Propagations - prev.Propagations,
 		Learnt:       st.Learnt - prev.Learnt,
+		SharedIn:     st.SharedIn - prev.SharedIn,
+		SharedOut:    st.SharedOut - prev.SharedOut,
 	}
 }
 
-// New returns an empty solver seeded for reproducible randomized decisions.
+// New returns an empty solver seeded for reproducible randomized decisions,
+// with the classic search configuration (see Config).
 func New(seed int64) *Solver {
-	s := &Solver{varInc: 1, rng: rand.New(rand.NewSource(seed))}
+	return NewWithConfig(Config{Seed: seed})
+}
+
+// NewWithConfig returns an empty solver with the given search configuration.
+func NewWithConfig(cfg Config) *Solver {
+	cfg = cfg.withDefaults()
+	s := &Solver{varInc: 1, rng: rand.New(rand.NewSource(cfg.Seed))}
 	s.heap = newVarHeap(&s.activity)
+	s.DefaultPhase = cfg.DefaultPhase
+	s.RandomPhaseProb = cfg.RandomPhaseProb
+	s.RandomVarProb = cfg.RandomVarProb
+	s.MaxConflicts = cfg.MaxConflicts
+	s.varDecay = cfg.VarDecay
+	s.restartBase = cfg.RestartBase
+	s.restartGeom = cfg.RestartGeometric
 	return s
 }
 
@@ -172,7 +234,7 @@ func (s *Solver) NewVar() int {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, 0)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefNone)
 	s.activity = append(s.activity, 0)
 	s.baseAct = append(s.baseAct, 0)
 	s.phase = append(s.phase, 0)
@@ -185,6 +247,10 @@ func (s *Solver) NewVar() int {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
+// NumClauses returns the number of stored clauses (problem + learnt);
+// unit clauses are absorbed into the level-0 trail and not counted.
+func (s *Solver) NumClauses() int { return len(s.heads) }
+
 func (s *Solver) litValue(l Lit) int8 {
 	v := s.assigns[l.Var()]
 	if l.Sign() {
@@ -195,6 +261,20 @@ func (s *Solver) litValue(l Lit) int8 {
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
 
+// clauseLits returns the (mutable) literal slice of a clause.
+func (s *Solver) clauseLits(ci cref) []Lit {
+	h := &s.heads[ci]
+	return s.arena[h.off : h.off+h.size : h.off+h.size]
+}
+
+// pushClause appends a clause to the arena, copying lits.
+func (s *Solver) pushClause(lits []Lit, learnt bool) cref {
+	off := int32(len(s.arena))
+	s.arena = append(s.arena, lits...)
+	s.heads = append(s.heads, clsHead{off: off, size: int32(len(lits)), learnt: learnt})
+	return cref(len(s.heads) - 1)
+}
+
 // AddClause adds a clause to the solver. It returns false if the clause
 // makes the formula trivially unsatisfiable. Clauses may be added between
 // Solve calls (e.g. blocking clauses for model enumeration).
@@ -204,13 +284,14 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	s.cancelUntil(0)
 	// Normalize: sort-free dedup, drop false lits, detect tautology.
-	out := lits[:0:0]
+	out := s.addTmp[:0]
 	for _, l := range lits {
 		if l.Var() >= s.NumVars() {
 			panic("sat: literal references unallocated variable")
 		}
 		switch s.litValue(l) {
 		case 1:
+			s.addTmp = out
 			return true // satisfied at level 0
 		case -1:
 			continue // falsified at level 0: drop
@@ -222,6 +303,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 				break
 			}
 			if o == l.Neg() {
+				s.addTmp = out
 				return true // tautology
 			}
 		}
@@ -229,30 +311,31 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			out = append(out, l)
 		}
 	}
+	s.addTmp = out[:0]
 	switch len(out) {
 	case 0:
 		s.unsat = true
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], crefNone)
+		if s.propagate() != crefNone {
 			s.unsat = true
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	ci := s.pushClause(out, false)
+	s.attach(ci)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+func (s *Solver) attach(ci cref) {
+	cl := s.clauseLits(ci)
+	s.watches[cl[0].Neg()] = append(s.watches[cl[0].Neg()], ci)
+	s.watches[cl[1].Neg()] = append(s.watches[cl[1].Neg()], ci)
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
 	v := l.Var()
 	if l.Sign() {
 		s.assigns[v] = -1
@@ -264,33 +347,35 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation; it returns a conflicting clause or
-// nil.
-func (s *Solver) propagate() *clause {
+// propagate performs unit propagation; it returns a conflicting clause
+// reference or crefNone.
+func (s *Solver) propagate() cref {
+	s.dirty = true // watch lists and clause lit order may be permuted below
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
 		s.Propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := crefNone
 		for i := 0; i < len(ws); i++ {
-			c := ws[i]
-			// Ensure the false literal (p.Neg()) is lits[1].
-			if c.lits[0] == p.Neg() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			ci := ws[i]
+			cl := s.clauseLits(ci)
+			// Ensure the false literal (p.Neg()) is cl[1].
+			if cl[0] == p.Neg() {
+				cl[0], cl[1] = cl[1], cl[0]
 			}
-			// If lits[0] is already true the clause is satisfied.
-			if s.litValue(c.lits[0]) == 1 {
-				kept = append(kept, c)
+			// If cl[0] is already true the clause is satisfied.
+			if s.litValue(cl[0]) == 1 {
+				kept = append(kept, ci)
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.litValue(c.lits[k]) != -1 {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+			for k := 2; k < len(cl); k++ {
+				if s.litValue(cl[k]) != -1 {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1].Neg()] = append(s.watches[cl[1].Neg()], ci)
 					found = true
 					break
 				}
@@ -299,34 +384,35 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
-			if s.litValue(c.lits[0]) == -1 {
+			kept = append(kept, ci)
+			if s.litValue(cl[0]) == -1 {
 				// Conflict: keep the remaining watches and bail.
 				kept = append(kept, ws[i+1:]...)
-				confl = c
+				confl = ci
 				break
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(cl[0], ci)
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != crefNone {
 			return confl
 		}
 	}
-	return nil
+	return crefNone
 }
 
 // analyze performs first-UIP conflict analysis. It returns the learnt clause
-// (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
-	learnt := []Lit{0} // slot 0 for the asserting literal
+// (with the asserting literal first; valid until the next conflict) and the
+// backtrack level.
+func (s *Solver) analyze(confl cref) ([]Lit, int32) {
+	learnt := append(s.learntTmp[:0], 0) // slot 0 for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
-	var cleanup []int
+	cleanup := s.seenTmp[:0]
 
 	for {
-		for _, q := range confl.lits {
+		for _, q := range s.clauseLits(confl) {
 			if p != -1 && q == p {
 				continue
 			}
@@ -373,6 +459,8 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
 	for _, v := range cleanup {
 		s.seen[v] = false
 	}
+	s.learntTmp = learnt
+	s.seenTmp = cleanup[:0]
 	return learnt, btLevel
 }
 
@@ -387,7 +475,7 @@ func (s *Solver) bumpVar(v int) {
 	s.heap.update(v)
 }
 
-func (s *Solver) decayActivities() { s.varInc /= 0.95 }
+func (s *Solver) decayActivities() { s.varInc /= s.varDecay }
 
 // BoostVar raises a variable's initial activity so it is decided early.
 // The bit-blaster boosts the bits of named input variables: together with
@@ -431,7 +519,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 			s.phase[v] = -1
 		}
 		s.assigns[v] = 0
-		s.reason[v] = nil
+		s.reason[v] = crefNone
 		s.heap.insert(v)
 	}
 	s.trail = s.trail[:s.trailLim[lvl]]
@@ -487,9 +575,22 @@ func luby(x int64) int64 {
 	return 1 << seq
 }
 
+// restartBudget returns the conflict budget of the r-th restart interval
+// under the configured policy: Luby (default) or geometric (×1.5).
+func (s *Solver) restartBudget(r int64) int64 {
+	if s.restartGeom {
+		b := s.restartBase
+		for i := int64(0); i < r; i++ {
+			b += b >> 1
+		}
+		return b
+	}
+	return luby(r) * s.restartBase
+}
+
 // Solve searches for a satisfying assignment consistent with the given
 // assumption literals. It returns Sat, Unsat, or Unknown (only when
-// MaxConflicts is exceeded within this call).
+// MaxConflicts is exceeded within this call, or the context is cancelled).
 //
 // Assumptions are enqueued as pseudo-decisions at successive decision
 // levels before any search decision, in the MiniSat style: restarts and
@@ -509,7 +610,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unknown
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if s.propagate() != crefNone {
 		s.unsat = true
 		return Unsat
 	}
@@ -519,13 +620,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 	}
 	restart := int64(0)
-	budget := luby(restart) * 100
+	budget := s.restartBudget(restart)
 	conflictsHere := int64(0)
 	startConflicts := s.Conflicts
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefNone {
 			s.Conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -535,13 +636,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], crefNone)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
-				s.clauses = append(s.clauses, c)
+				ci := s.pushClause(learnt, true)
 				s.Learnt++
-				s.attach(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				s.attach(ci)
+				s.uncheckedEnqueue(learnt[0], ci)
 			}
 			s.decayActivities()
 			if s.MaxConflicts > 0 && s.Conflicts-startConflicts >= s.MaxConflicts {
@@ -553,11 +653,21 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unknown
 			}
 			if conflictsHere >= budget {
-				// Restart.
+				// Restart. The boundary is also the cheap place to notice a
+				// lost portfolio race: frequently-restarting helpers stop
+				// burning cycles well before the every-1024th-conflict poll.
 				conflictsHere = 0
 				restart++
-				budget = luby(restart) * 100
+				budget = s.restartBudget(restart)
 				s.cancelUntil(0)
+				if s.ctx != nil && s.ctx.Err() != nil {
+					return Unknown
+				}
+				if s.share != nil {
+					if !s.shareSync() {
+						return Unsat
+					}
+				}
 			}
 			continue
 		}
@@ -592,7 +702,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			next = MkLit(v, !s.pickPhase(v))
 		}
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefNone)
 	}
 }
 

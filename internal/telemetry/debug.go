@@ -39,6 +39,11 @@ type countersJSON struct {
 	Quarantines  int64 `json:"quarantines"`
 	BreakerTrips int64 `json:"breaker_trips"`
 
+	SharedClauses int64   `json:"shared_clauses,omitempty"`
+	PortfolioWins []int64 `json:"portfolio_wins,omitempty"`
+	ShapeHits     int64   `json:"shape_hits,omitempty"`
+	ShapeMisses   int64   `json:"shape_misses,omitempty"`
+
 	Stages []stageJSON `json:"stages,omitempty"`
 }
 
@@ -75,6 +80,10 @@ func countersWire(c Counters) countersJSON {
 		Skips:           c.Skips,
 		Quarantines:     c.Quarantines,
 		BreakerTrips:    c.BreakerTrips,
+		SharedClauses:   c.SharedClauses,
+		PortfolioWins:   c.PortfolioWins,
+		ShapeHits:       c.ShapeHits,
+		ShapeMisses:     c.ShapeMisses,
 	}
 	for _, s := range c.Stages {
 		out.Stages = append(out.Stages, stageJSON{

@@ -46,6 +46,19 @@ func RenderProgress(cur, prev Counters, dt time.Duration) string {
 	if cur.BreakerTrips > 0 {
 		fmt.Fprintf(&sb, "  breaker-trips %d", cur.BreakerTrips)
 	}
+	// Portfolio/shape-cache counters appear only when those features run.
+	if cur.ShapeHits+cur.ShapeMisses > 0 {
+		fmt.Fprintf(&sb, "  shapes %d/%d hit", cur.ShapeHits, cur.ShapeHits+cur.ShapeMisses)
+	}
+	if len(cur.PortfolioWins) > 0 {
+		sb.WriteString("  wins")
+		for _, w := range cur.PortfolioWins {
+			fmt.Fprintf(&sb, " %d", w)
+		}
+		if cur.SharedClauses > 0 {
+			fmt.Fprintf(&sb, "  shared %d", cur.SharedClauses)
+		}
+	}
 
 	// Busy share over the interval: how the pipeline's working time divided
 	// across stages since the previous tick. Relative shares rank the

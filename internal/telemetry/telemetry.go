@@ -37,9 +37,11 @@ import (
 // Version 1: kinds "campaign", "span", "query", "verdict" with the fields
 // documented on Record. Version 2 adds the resilience kinds "retry",
 // "timeout", "skip", "quarantine", "breaker" (new fields Reason, Attempt,
-// From, To); v1 traces remain loadable. Readers reject records from a newer
-// schema.
-const SchemaVersion = 2
+// From, To). Version 3 adds the portfolio/shape-cache fields on "query"
+// records (Winner, SharedClauses) and the "shape" kind (Hit) recording
+// campaign shape-cache lookups; v1 and v2 traces remain loadable. Readers
+// reject records from a newer schema.
+const SchemaVersion = 3
 
 // Record is one JSONL trace line. One flat struct serves all kinds; fields
 // not meaningful for a kind are zero and omitted from the encoding (their
@@ -51,7 +53,10 @@ const SchemaVersion = 2
 //	span      one pipeline stage finished for one program: Stage, Prog, DurUS
 //	query     one solver query: Prog, PathA/PathB/Class/Slot, Status, DurUS,
 //	          plus the solver-effort deltas of this query (Conflicts,
-//	          Decisions, Propagations, BlastHits, BlastMisses, AckReads)
+//	          Decisions, Propagations, BlastHits, BlastMisses, AckReads) and,
+//	          under a portfolio backend, Winner (1-based deciding worker) and
+//	          SharedClauses (learnt clauses imported this query)
+//	shape     one campaign shape-cache lookup: Prog, Hit
 //	verdict   one executed test case: Prog, Test, Verdict, DurUS
 //	retry     one platform retry: Prog, Test, Attempt (failing attempt,
 //	          0-based), Reason
@@ -93,6 +98,11 @@ type Record struct {
 	Attempt int    `json:"attempt,omitempty"`
 	From    string `json:"from,omitempty"`
 	To      string `json:"to,omitempty"`
+
+	// Portfolio and shape-cache fields (schema v3).
+	Winner        int   `json:"winner,omitempty"`
+	SharedClauses int64 `json:"shared_clauses,omitempty"`
+	Hit           bool  `json:"hit,omitempty"`
 }
 
 // QueryEvent is one solver query as reported by the test-case generator.
@@ -112,6 +122,12 @@ type QueryEvent struct {
 	BlastHits    int64
 	BlastMisses  int64
 	AckReads     int64
+
+	// Winner is the 1-based portfolio worker that decided the query (0 for a
+	// single-solver backend or an undecided query); SharedClauses counts the
+	// learnt clauses imported from the portfolio share pool during the query.
+	Winner        int
+	SharedClauses int64
 }
 
 // stageAgg accumulates span observations for one stage name.
@@ -152,6 +168,13 @@ type Tracer struct {
 	skips        atomic.Int64
 	quarantines  atomic.Int64
 	breakerTrips atomic.Int64
+
+	// Portfolio and shape-cache counters (schema v3).
+	sharedClauses atomic.Int64
+	shapeHits     atomic.Int64
+	shapeMisses   atomic.Int64
+	winsMu        sync.Mutex
+	wins          []int64 // index = winner-1, grown on demand
 
 	stagesMu sync.RWMutex
 	stages   map[string]*stageAgg
@@ -273,13 +296,37 @@ func (t *Tracer) Query(ev QueryEvent) {
 	t.blastHits.Add(ev.BlastHits)
 	t.blastMisses.Add(ev.BlastMisses)
 	t.ackReads.Add(ev.AckReads)
+	t.sharedClauses.Add(ev.SharedClauses)
+	if ev.Winner > 0 {
+		t.winsMu.Lock()
+		for len(t.wins) < ev.Winner {
+			t.wins = append(t.wins, 0)
+		}
+		t.wins[ev.Winner-1]++
+		t.winsMu.Unlock()
+	}
 	t.write(&Record{
 		Kind: "query", TSus: t.now(), Prog: ev.Prog,
 		PathA: ev.PathA, PathB: ev.PathB, Class: ev.Class, Slot: ev.Slot,
 		Status: ev.Status, DurUS: ev.Dur.Microseconds(),
 		Conflicts: ev.Conflicts, Decisions: ev.Decisions, Propagations: ev.Propagations,
 		BlastHits: ev.BlastHits, BlastMisses: ev.BlastMisses, AckReads: ev.AckReads,
+		Winner: ev.Winner, SharedClauses: ev.SharedClauses,
 	})
+}
+
+// ShapeLookup records one campaign shape-cache lookup: hit means an earlier
+// program already built the prototype encoding for this template shape.
+func (t *Tracer) ShapeLookup(prog int, hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.shapeHits.Add(1)
+	} else {
+		t.shapeMisses.Add(1)
+	}
+	t.write(&Record{Kind: "shape", TSus: t.now(), Prog: prog, Hit: hit})
 }
 
 // Verdict records one executed test case's classification and execution time.
@@ -396,6 +443,14 @@ type Counters struct {
 	Quarantines  int64
 	BreakerTrips int64
 
+	// SharedClauses sums the learnt clauses imported across portfolio
+	// workers; PortfolioWins tallies deciding queries per worker (index =
+	// worker-1); ShapeHits/ShapeMisses count campaign shape-cache lookups.
+	SharedClauses int64
+	PortfolioWins []int64
+	ShapeHits     int64
+	ShapeMisses   int64
+
 	Stages []StageCount // first-seen (pipeline) order
 }
 
@@ -424,7 +479,13 @@ func (t *Tracer) Snapshot() Counters {
 		Skips:           t.skips.Load(),
 		Quarantines:     t.quarantines.Load(),
 		BreakerTrips:    t.breakerTrips.Load(),
+		SharedClauses:   t.sharedClauses.Load(),
+		ShapeHits:       t.shapeHits.Load(),
+		ShapeMisses:     t.shapeMisses.Load(),
 	}
+	t.winsMu.Lock()
+	c.PortfolioWins = append([]int64(nil), t.wins...)
+	t.winsMu.Unlock()
 	c.QueryP50, c.QueryP95, c.QueryP99 = t.queryHist.Quantiles()
 	t.stagesMu.RLock()
 	order := append([]*stageAgg(nil), t.order...)

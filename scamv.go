@@ -35,6 +35,7 @@ import (
 	"scamv/internal/logdb"
 	"scamv/internal/micro"
 	"scamv/internal/obs"
+	"scamv/internal/smt"
 	"scamv/internal/stage"
 	"scamv/internal/symexec"
 	"scamv/internal/telemetry"
@@ -161,6 +162,23 @@ type Experiment struct {
 	// should leave it false.
 	LegacySolver bool
 
+	// Portfolio, when >= 1, races that many diversified CDCL workers per
+	// solver query, first answer wins. Worker 0 is canonical, so campaign
+	// results are byte-identical across portfolio sizes; only wall-clock
+	// generation time changes. 0 keeps the classic single-solver backend.
+	Portfolio int
+
+	// SharedCache enables the campaign-scoped blast/query cache: pair-
+	// relation encodings are computed once per template shape and cloned for
+	// every alpha-equivalent program (same template, different register
+	// allocation), across all concurrent testgen workers. Results are
+	// byte-identical with the cache on or off. Ignored under LegacySolver.
+	SharedCache bool
+
+	// shapeCache is the campaign's shared prototype cache, created by
+	// RunContext when SharedCache is set.
+	shapeCache *smt.ShapeCache
+
 	// Monolithic disables the staged engine and runs the pre-staged
 	// program-level worker pool (no stage overlap, no Result.Stages
 	// metrics). Counts are identical either way; kept for A/B benchmarking
@@ -268,6 +286,12 @@ type Result struct {
 	Retries             int
 	Timeouts            int
 	BreakerTrips        uint64
+
+	// ShapeHits and ShapeMisses count campaign shape-cache lookups when
+	// Experiment.SharedCache is set (misses = distinct template shapes
+	// encoded; both deterministic per seed). Zero when the cache is off.
+	ShapeHits   int64
+	ShapeMisses int64
 }
 
 // AvgGen returns the mean generation time per experiment.
@@ -367,6 +391,8 @@ func (pl *Pipeline) generatorCtx(ctx context.Context, e *Experiment, programSeed
 		MaxConflicts:    e.MaxConflicts,
 		Registers:       pl.Registers,
 		Legacy:          e.LegacySolver,
+		Portfolio:       e.Portfolio,
+		ShapeCache:      e.shapeCache,
 		Trace:           e.Trace,
 		Prog:            p,
 		Ctx:             ctx,
@@ -733,6 +759,9 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	if mp, ok := e.Platform.(*MultiPlatform); ok {
 		mp.setTracer(e.Trace)
 	}
+	if e.SharedCache && !e.LegacySolver {
+		e.shapeCache = smt.NewShapeCache()
+	}
 	start := time.Now()
 	var err error
 	if e.Monolithic {
@@ -747,6 +776,10 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	// custom platform exposing the same counter).
 	if bt, ok := e.Platform.(interface{ BreakerTrips() uint64 }); ok {
 		res.BreakerTrips = bt.BreakerTrips()
+	}
+	if e.shapeCache != nil {
+		st := e.shapeCache.Stats()
+		res.ShapeHits, res.ShapeMisses = st.Hits, st.Misses
 	}
 	return res, nil
 }
