@@ -136,15 +136,21 @@ func (s *Solver) restore(m mark) {
 	s.dirty = false
 }
 
-// canonicalizeWatches sorts every clause's literals ascending and rebuilds
-// all watch lists in clause order. The result depends only on the clause
-// sets in the database (search-time swaps permute within a clause, never
-// across), so two workers with equal databases end up in identical states
-// no matter what their previous searches did.
+// canonicalizeWatches sorts every clause's literals ascending, promotes
+// watchable literals to the watch positions, and rebuilds all watch lists in
+// clause order. The result depends only on the clause sets in the database
+// plus the level-0 assignment — both pure functions of the clause additions
+// (search-time swaps permute within a clause, never across; level-0
+// propagation is at fixpoint whenever this runs) — so two workers with equal
+// databases end up in identical states no matter what their previous
+// searches did.
 //
-// Watching a literal that is already false at level 0 is sound here: level-0
-// propagation reached fixpoint before the rebuild, so any clause that is
-// unit under the level-0 assignment already had its implication enqueued.
+// The promotion is what keeps the watches alive: a watch on a literal that
+// is already false at level 0 can never fire again, and a clause whose two
+// smallest literals were falsified at level 0 after it was added (by later
+// unit assertions) would otherwise become invisible to propagation — its
+// remaining literals could all be set false without a conflict being
+// detected.
 func (s *Solver) canonicalizeWatches() {
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
@@ -152,8 +158,33 @@ func (s *Solver) canonicalizeWatches() {
 	for ci := range s.heads {
 		cl := s.clauseLits(cref(ci))
 		sortLits(cl)
+		s.promoteWatchable(cl)
 		s.watches[cl[0].Neg()] = append(s.watches[cl[0].Neg()], cref(ci))
 		s.watches[cl[1].Neg()] = append(s.watches[cl[1].Neg()], cref(ci))
+	}
+}
+
+// promoteWatchable moves up to two literals that are non-false under the
+// level-0 assignment into positions 0 and 1, by stable rotation so the
+// result is still a deterministic function of sorted order plus the level-0
+// assignment. If fewer than two non-false literals exist, the level-0
+// fixpoint guarantees the clause is satisfied (a unit clause would have
+// propagated its last literal true): the satisfied literal ends up in
+// position 0, is permanently true, and makes both watches harmlessly dead.
+// Zero non-false literals means every literal is false at level 0 — a
+// top-level conflict, re-asserted here in case the sticky flag was lost.
+func (s *Solver) promoteWatchable(cl []Lit) {
+	w := 0
+	for i := 0; i < len(cl) && w < 2; i++ {
+		if s.litValue(cl[i]) != -1 {
+			l := cl[i]
+			copy(cl[w+1:i+1], cl[w:i])
+			cl[w] = l
+			w++
+		}
+	}
+	if w == 0 {
+		s.unsat = true
 	}
 }
 

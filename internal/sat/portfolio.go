@@ -69,6 +69,16 @@ func (cs *ClauseShare) Size() int {
 	return len(cs.pool)
 }
 
+// reset empties the pool. The backing array is dropped rather than truncated
+// so batches fetched before the reset stay valid. Callers must ensure no
+// worker is mid-search (Portfolio resets only between queries, with all
+// worker goroutines joined).
+func (cs *ClauseShare) reset() {
+	cs.mu.Lock()
+	cs.pool = nil
+	cs.mu.Unlock()
+}
+
 // attachShare wires a worker to a pool. Importing workers pick up foreign
 // clauses at restarts; all attached workers export.
 func (s *Solver) attachShare(cs *ClauseShare, imports bool) {
@@ -158,16 +168,20 @@ func (s *Solver) importClause(lits []Lit) bool {
 // learnt clauses circulate through a ClauseShare pool.
 //
 // Determinism: each Solve first rewinds every worker to its base problem
-// state (clauses learnt or imported during earlier queries are dropped), so
+// state (clauses learnt or imported during earlier queries are dropped; the
+// shared clause pool was emptied when the previous query's race ended), so
 // a query's outcome is a function of the base clauses, the assumptions, and
-// the per-worker seeds alone — not of race timing. The verdict protocol
-// keeps it that way: worker 0's own Sat/Unsat is always final; when worker
-// 0 returns Unknown, the helpers (conflict-budget-bounded) are joined
-// WITHOUT cancellation and any helper Unsat is taken, in worker order.
-// Under a sound pool and correct workers this yields the same verdict for
-// every portfolio size, except on queries whose conflict budget is
-// borderline: with MaxConflicts > 0 a helper may prove Unsat within its
-// budget where a lone worker 0 gives up (exact equivalence holds at
+// the per-worker seeds alone — not of race timing or of how far earlier
+// queries' helpers ran before cancellation. The verdict protocol keeps it that way: worker 0's own
+// Sat/Unsat is always final; when worker 0 returns Unknown, the helpers
+// (conflict-budget-bounded) are joined WITHOUT cancellation and any helper
+// Unsat is taken, in worker order. Under a sound pool and correct workers
+// this yields the same verdict for every portfolio size, except on queries
+// whose conflict budget is borderline: with MaxConflicts > 0 a helper may
+// prove Unsat within its budget where a lone worker 0 gives up, and what a
+// helper imports before exhausting its budget depends on intra-query
+// scheduling, so budget-limited helper verdicts (never worker 0's, never a
+// Sat model) can vary run-to-run (exact equivalence holds at
 // MaxConflicts = 0; the MLine bench exhibits no such edge queries).
 //
 // Model determinism additionally requires the caller to ResetSearch before
@@ -233,11 +247,15 @@ func newPortfolio(workers []*Solver, cfgs []Config) *Portfolio {
 	return p
 }
 
-// restoreAll rewinds every worker to its base problem state. It is a no-op
-// when nothing was learnt since (fast path in restore).
+// restoreAll rewinds every worker to its base problem state and rewinds the
+// helpers' pool cursors to the start of the (empty, see Solve) shared pool.
+// It is a no-op when nothing was learnt since (fast path in restore).
+// Callers guarantee no worker goroutine is running (every Solve return path
+// joins them).
 func (p *Portfolio) restoreAll() {
 	for i, w := range p.workers {
 		w.restore(p.bases[i])
+		w.shareCursor = 0
 	}
 }
 
@@ -336,6 +354,14 @@ func (p *Portfolio) Solve(assumptions ...Lit) Status {
 		}
 		return st
 	}
+
+	// Empty the pool once the race is over (every return path below joins
+	// the helpers first): pool contents depend on how far helpers ran before
+	// cancellation, and carrying them into the next query would make
+	// budget-limited helper verdicts depend on earlier queries' race timing.
+	// Resetting at the end rather than at entry leaves the window between
+	// AddClause and Solve open for the oracle teeth tests to poison the pool.
+	defer p.share.reset()
 
 	outer := p.ctx
 	base := context.Background()

@@ -270,6 +270,84 @@ func TestRestoreCanonicalizesPartialSearch(t *testing.T) {
 	}
 }
 
+// TestRestoreDeadWatchDirect: after level-0 units falsify a clause's two
+// smallest literals, restore's canonicalization must not park both watches
+// on dead literals — the clause would become invisible to propagation and
+// the solver would answer Sat with a model falsifying it. This drives the
+// Solver-level restore path directly: restore canonicalizes whenever prior
+// propagation ran, exactly as Portfolio.AddClause does before every
+// addition.
+func TestRestoreDeadWatchDirect(t *testing.T) {
+	s := New(1)
+	lits := make([]Lit, 4)
+	for i := range lits {
+		lits[i] = MkLit(s.NewVar(), false)
+	}
+	s.AddClause(lits...)
+	contradicted := false
+	for _, l := range lits {
+		s.restore(s.snapshot())
+		if !s.AddClause(l.Neg()) {
+			contradicted = true
+		}
+	}
+	if !contradicted {
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("(a|b|c|d) & !a & !b & !c & !d: got %v with model %v, want Unsat",
+				st, s.Model())
+		}
+	}
+}
+
+// TestRestoreDeadWatchRegression is the review repro for the same bug at the
+// Portfolio level: (a|b|c|d) & !a & !b & !c & !d used to come back Sat at
+// every portfolio size, with models falsifying (a|b|c|d), because AddClause
+// restores (and canonicalizes) all workers before each addition.
+func TestRestoreDeadWatchRegression(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		p := NewPortfolio(DefaultPortfolioConfigs(Config{Seed: 1}, n))
+		lits := make([]Lit, 4)
+		for i := range lits {
+			lits[i] = MkLit(p.NewVar(), false)
+		}
+		p.AddClause(lits...)
+		contradicted := false
+		for _, l := range lits {
+			if !p.AddClause(l.Neg()) {
+				contradicted = true
+			}
+		}
+		if !contradicted {
+			if st := p.Solve(); st != Unsat {
+				t.Fatalf("portfolio-%d: got %v, want Unsat", n, st)
+			}
+		}
+	}
+}
+
+// TestSharePoolEmptiedBetweenQueries: pool contents depend on how far
+// helpers ran before cancellation, so carrying them across queries would
+// make budget-limited helper verdicts depend on earlier queries' race
+// timing. Solve must leave the pool empty; clauses injected between queries
+// (the oracle teeth seam) stay visible to the next query only.
+func TestSharePoolEmptiedBetweenQueries(t *testing.T) {
+	p := NewPortfolio(DefaultPortfolioConfigs(Config{Seed: 5}, 4))
+	addAll(p, 30, randomCNF3(5, 30, 170))
+	p.ResetSearch(5)
+	p.Solve()
+	if n := p.SharedPool().Size(); n != 0 {
+		t.Fatalf("pool holds %d clauses after Solve, want 0", n)
+	}
+	if !p.SharedPool().Export([]Lit{MkLit(0, false), MkLit(1, false)}) {
+		t.Fatal("between-queries export rejected")
+	}
+	p.ResetSearch(6)
+	p.Solve()
+	if n := p.SharedPool().Size(); n != 0 {
+		t.Fatalf("pool holds %d clauses after second Solve, want 0", n)
+	}
+}
+
 // TestClauseSharePoisoning documents the failure mode the oracle teeth test
 // is built on: an unsound clause in the pool makes an importing worker lie.
 func TestClauseSharePoisoning(t *testing.T) {

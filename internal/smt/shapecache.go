@@ -15,8 +15,12 @@ import (
 // space ("@0", "@1", ...), and the renamer bijects between those and the
 // caller's actual names. Names unknown to the bijection (variables first
 // introduced after instantiation, e.g. by coverage-class constraints) pass
-// through unchanged — they cannot collide with placeholders, which always
-// start with '@'.
+// through unchanged — which is only sound because caller names never start
+// with '@': a pass-through "@0" would silently alias the prototype's
+// placeholder for a different variable and corrupt the encoding with no
+// error. The invariant is enforced, not assumed: '@'-prefixed caller names
+// panic at this boundary (newRenamer for names present at instantiation,
+// in for names introduced later).
 //
 // Ackermann read variables are named "$rd_<mem>_<n>" by the solver; both
 // directions translate the embedded memory name so read variables line up
@@ -33,6 +37,7 @@ func newRenamer(actual []string) *renamer {
 		fromCanon: make(map[string]string, len(actual)),
 	}
 	for i, name := range actual {
+		rejectReservedName(name)
 		p := "@" + strconv.Itoa(i)
 		rn.toCanon[name] = p
 		rn.fromCanon[p] = name
@@ -40,8 +45,21 @@ func newRenamer(actual []string) *renamer {
 	return rn
 }
 
-func (rn *renamer) in(name string) string  { return rnMap(rn.toCanon, name) }
+func (rn *renamer) in(name string) string {
+	rejectReservedName(name)
+	return rnMap(rn.toCanon, name)
+}
+
 func (rn *renamer) out(name string) string { return rnMap(rn.fromCanon, name) }
+
+// rejectReservedName panics on caller variable names in the reserved
+// placeholder namespace. Load-bearing for correctness: see the renamer doc.
+func rejectReservedName(name string) {
+	if strings.HasPrefix(name, "@") {
+		panic("smt: variable name " + strconv.Quote(name) +
+			" collides with the shape cache's reserved '@' placeholder namespace")
+	}
+}
 
 func rnMap(m map[string]string, name string) string {
 	if t, ok := m[name]; ok {

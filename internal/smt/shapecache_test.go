@@ -267,6 +267,34 @@ func TestShapeCachePortfolioInstantiation(t *testing.T) {
 	}
 }
 
+// TestShapeCacheRejectsPlaceholderNames: a caller variable named "@0",
+// introduced after instantiation, would silently alias the prototype's
+// canonical placeholder for a different variable. The renamer must refuse
+// the reserved namespace loudly instead of corrupting the encoding.
+func TestShapeCacheRejectsPlaceholderNames(t *testing.T) {
+	sc := NewShapeCache()
+	s, _ := sc.Instantiate(Options{Seed: 1}, pairFormulas("R1", "R2", "MEM"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("asserting a variable named \"@0\" did not panic")
+		}
+	}()
+	s.Assert(expr.Ult(expr.V64("@0"), expr.C64(4)))
+}
+
+// TestShapeCacheRejectsPlaceholderNamesAtInstantiation covers the other
+// boundary: formulas whose variables already use the reserved namespace must
+// be refused when the renamer bijection is built.
+func TestShapeCacheRejectsPlaceholderNamesAtInstantiation(t *testing.T) {
+	sc := NewShapeCache()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("instantiating over a variable named \"@0\" did not panic")
+		}
+	}()
+	sc.Instantiate(Options{}, []expr.BoolExpr{expr.Ult(expr.V64("@0"), expr.C64(4))})
+}
+
 // TestShapeCacheMemoryModel checks memory-image reconstruction through the
 // rename boundary: read variables, their addresses, and the reassembled
 // memory must all land back in caller space.
