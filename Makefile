@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench
+.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke matrix-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench-matrix bench
 
-ci: build vet race portfolio-smoke bench-gen
+ci: build vet race portfolio-smoke matrix-smoke bench-gen
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,22 @@ fuzz-smoke:
 # detector — the solving stack's full concurrency mix in miniature.
 portfolio-smoke:
 	$(GO) test -race -count=1 -run TestPortfolioSmokeRace .
+
+# Matrix smoke: the platform-zoo battery under the race detector — a tiny
+# 3-platform (a53/a72/m0) campaign checked for golden byte identity,
+# staged-vs-monolithic row equality, per-platform log/telemetry records, and
+# the cross-platform differential oracle with its injected-bug teeth test.
+matrix-smoke:
+	$(GO) test -race -count=1 -run 'TestMatrix|TestFormatTableRendersMatrix' .
+	$(GO) test -race -count=1 -run 'TestDiffProgramMatrix' ./internal/oracle
+
+# Matrix-campaign benchmark: runs the K=3 platform matrix against three
+# sequential single-platform campaigns and writes BENCH_matrix.json (wall
+# clocks, ratio, per-platform verdict rows). Fails if any per-platform count
+# diverges or the batched matrix is not under 0.5x of the sequential wall
+# clock (generation runs once instead of K times).
+bench-matrix:
+	BENCH_MATRIX=1 $(GO) test -run TestWriteBenchMatrix -count=1 -v .
 
 # Portfolio/shape-cache benchmark: runs the MLine campaign in the plain
 # incremental, cache-only, portfolio-1/4 and portfolio-4+cache modes and

@@ -30,6 +30,7 @@ import (
 	"scamv/internal/faultinject"
 	"scamv/internal/gen"
 	"scamv/internal/logdb"
+	"scamv/internal/micro"
 	"scamv/internal/telemetry"
 )
 
@@ -53,8 +54,27 @@ func main() {
 		chaos     = flag.String("chaos", "off", "fault-injection profile: off, light, or heavy (deterministic per -seed)")
 		portfolio = flag.Int("portfolio", 0, "race N diversified CDCL workers per solver query (0 = single solver; results identical at any N)")
 		shared    = flag.Bool("shared-cache", false, "share one blast cache per template shape across the campaign (results identical on or off)")
+		matrix    = flag.Bool("matrix", false, "run each campaign as a platform matrix over -platforms (default a53,a72,m0)")
+		platNames = flag.String("platforms", "", "comma-separated platform presets for the matrix (implies -matrix); see -platforms=help")
 	)
 	flag.Parse()
+
+	if *platNames == "help" {
+		fmt.Println("platform presets:", strings.Join(micro.PresetNames(), ", "))
+		return
+	}
+	var platforms []scamv.PlatformSpec
+	if *matrix || *platNames != "" {
+		names := *platNames
+		if names == "" {
+			names = "a53,a72,m0"
+		}
+		var err error
+		platforms, err = scamv.PlatformsFromPresets(strings.Split(names, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	chaosProf, err := faultinject.Named(*chaos)
 	if err != nil {
@@ -140,6 +160,7 @@ func main() {
 		e.FailPolicy = failPolicy
 		e.Portfolio = *portfolio
 		e.SharedCache = *shared
+		e.Platforms = platforms
 		if chaosProf.Name != "off" {
 			e.Platform = faultinject.New(e.Platform, chaosProf, *seed)
 		}

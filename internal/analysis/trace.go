@@ -90,6 +90,21 @@ type TraceReport struct {
 	SharedClauses int64
 	ShapeHits     int64
 	ShapeMisses   int64
+
+	// Platforms holds the per-platform verdict breakdown of matrix campaigns
+	// (schema v4 "platform" records), sorted by platform name; empty for
+	// single-platform traces.
+	Platforms []PlatformEffort
+}
+
+// PlatformEffort is one matrix platform's verdict counts and execution
+// latency distribution.
+type PlatformEffort struct {
+	Name            string
+	Experiments     int64
+	Counterexamples int64
+	Inconclusive    int64
+	Exec            LatencyDist
 }
 
 // AnalyzeTrace aggregates trace records into a report.
@@ -100,6 +115,11 @@ func AnalyzeTrace(recs []telemetry.Record) *TraceReport {
 	statusHists := make(map[string]*telemetry.Histogram)
 	var statusOrder []string
 	var queryHist, execHist telemetry.Histogram
+	type platAgg struct {
+		cex, inconcl int64
+		hist         telemetry.Histogram
+	}
+	platforms := make(map[string]*platAgg)
 	progs := make(map[int]*ProgramEffort)
 	prog := func(p int) *ProgramEffort {
 		pe := progs[p]
@@ -159,6 +179,19 @@ func AnalyzeTrace(recs []telemetry.Record) *TraceReport {
 			if rec.Verdict == "counterexample" {
 				pe.Counterexamples++
 			}
+		case "platform":
+			pa := platforms[rec.Name]
+			if pa == nil {
+				pa = &platAgg{}
+				platforms[rec.Name] = pa
+			}
+			pa.hist.Observe(d)
+			switch rec.Verdict {
+			case "counterexample":
+				pa.cex++
+			case "inconclusive":
+				pa.inconcl++
+			}
 		case "retry":
 			r.Retries++
 		case "timeout":
@@ -189,6 +222,21 @@ func AnalyzeTrace(recs []telemetry.Record) *TraceReport {
 		r.QueryByStatus = append(r.QueryByStatus, distOf(st, statusHists[st]))
 	}
 	r.ExecDist = distOf("execute/test", &execHist)
+	var platNames []string
+	for name := range platforms {
+		platNames = append(platNames, name)
+	}
+	sort.Strings(platNames)
+	for _, name := range platNames {
+		pa := platforms[name]
+		r.Platforms = append(r.Platforms, PlatformEffort{
+			Name:            name,
+			Experiments:     pa.hist.Count(),
+			Counterexamples: pa.cex,
+			Inconclusive:    pa.inconcl,
+			Exec:            distOf(name, &pa.hist),
+		})
+	}
 	for _, pe := range progs {
 		r.ByProgram = append(r.ByProgram, *pe)
 	}
@@ -244,6 +292,22 @@ func (r *TraceReport) String() string {
 
 	fmt.Fprintf(&sb, "\nexecution latency (per test):\n")
 	writeDistTable(&sb, "", []LatencyDist{r.ExecDist})
+
+	if len(r.Platforms) > 0 {
+		fmt.Fprintf(&sb, "\nplatform matrix (per-platform verdicts):\n")
+		rows := [][]string{{"platform", "exps", "cex", "inconcl", "exe-total", "exe-p95"}}
+		for _, pe := range r.Platforms {
+			rows = append(rows, []string{
+				pe.Name,
+				fmt.Sprintf("%d", pe.Experiments),
+				fmt.Sprintf("%d", pe.Counterexamples),
+				fmt.Sprintf("%d", pe.Inconclusive),
+				fmtUS(pe.Exec.Total),
+				fmtUS(pe.Exec.P95),
+			})
+		}
+		writeAligned(&sb, rows)
+	}
 
 	if len(r.ByProgram) > 0 {
 		fmt.Fprintf(&sb, "\nsolver effort per program (by query time):\n")

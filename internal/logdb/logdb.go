@@ -24,8 +24,11 @@ type Record struct {
 	PathB      int    `json:"path_b"`
 	Class      int    `json:"class"`
 	Verdict    string `json:"verdict"`
-	GenMicros  int64  `json:"gen_us"`
-	ExeMicros  int64  `json:"exe_us"`
+	// Platform names the matrix-campaign platform this verdict was measured
+	// on; empty for single-platform campaigns, so their logs are unchanged.
+	Platform  string `json:"platform,omitempty"`
+	GenMicros int64  `json:"gen_us"`
+	ExeMicros int64  `json:"exe_us"`
 	// Diff lists where the two states of the test case differ (register
 	// names, plus "mem" when the initial memory images differ): the raw
 	// material for the counterexample pattern analysis of the paper's §1.

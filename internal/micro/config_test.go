@@ -34,6 +34,21 @@ func TestConfigWithDefaults(t *testing.T) {
 		{"geometry survives", Config{Sets: 32, Ways: 2, LineBits: 5, PageBits: 14}, func(c Config) bool {
 			return c.Sets == 32 && c.Ways == 2 && c.LineBits == 5 && c.PageBits == 14
 		}},
+		{"tree-plru passes through", Config{Replacement: TreePLRU}, func(c Config) bool {
+			return c.Replacement == TreePLRU && c.Sets == d.Sets
+		}},
+		{"prefetch kind passes through", Config{Prefetch: PrefetchNextLine}, func(c Config) bool {
+			return c.Prefetch == PrefetchNextLine && c.PrefetchRun == d.PrefetchRun
+		}},
+		{"predictor kind passes through", Config{Predictor: PredGshare}, func(c Config) bool {
+			return c.Predictor == PredGshare && c.PredictorBits == d.PredictorBits
+		}},
+		{"predictor bits survive", Config{Predictor: PredBimodal, PredictorBits: 9}, func(c Config) bool {
+			return c.PredictorBits == 9 && c.Predictor == PredBimodal
+		}},
+		{"zero predictor bits get default", Config{Predictor: PredBimodal}, func(c Config) bool {
+			return c.PredictorBits == defaultPredictorBits
+		}},
 	}
 	for _, tc := range cases {
 		if got := tc.in.WithDefaults(); !tc.want(got) {

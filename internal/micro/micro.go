@@ -38,10 +38,13 @@ type Replacement uint8
 // Replacement policies. LRU is the deterministic default used by the
 // validation campaigns; the real Cortex-A53 L1D uses pseudo-random
 // replacement, available here for ablations (seeded, still reproducible).
+// TreePLRU is the tree pseudo-LRU of wider cores (one direction bit per
+// internal tree node; see plru.go), an ablation axis of the platform zoo.
 const (
 	LRU Replacement = iota
 	RoundRobin
 	PseudoRandom
+	TreePLRU
 )
 
 func (r Replacement) String() string {
@@ -52,8 +55,36 @@ func (r Replacement) String() string {
 		return "round-robin"
 	case PseudoRandom:
 		return "pseudo-random"
+	case TreePLRU:
+		return "tree-plru"
 	}
 	return "replacement(?)"
+}
+
+// PrefetchKind selects the data prefetcher variant. The zero value is the
+// A53-style stride prefetcher; turning prefetching off entirely stays on
+// the PrefetchDisabled switch so existing configurations are unchanged.
+type PrefetchKind uint8
+
+// Prefetcher variants.
+const (
+	// PrefetchStride triggers after PrefetchRun equidistant accesses and
+	// fetches the next address in the pattern (the A53 default).
+	PrefetchStride PrefetchKind = iota
+	// PrefetchNextLine fetches the line after every demand access — no
+	// training, fires immediately, the aggressive variant some cores pair
+	// with a stride engine. It leaks adjacency rather than stride.
+	PrefetchNextLine
+)
+
+func (k PrefetchKind) String() string {
+	switch k {
+	case PrefetchStride:
+		return "stride"
+	case PrefetchNextLine:
+		return "next-line"
+	}
+	return "prefetch(?)"
 }
 
 // Config is the microarchitecture configuration.
@@ -68,11 +99,20 @@ type Config struct {
 	// ReplacementSeed seeds the pseudo-random policy.
 	ReplacementSeed int64
 
+	// Prefetch selects the prefetcher variant (default the stride engine).
+	Prefetch PrefetchKind
 	// PrefetchRun is the number of equidistant accesses needed to trigger
 	// the stride prefetcher (A53 default setting: 3).
 	PrefetchRun int
 	// PrefetchDisabled turns the prefetcher off (ablations).
 	PrefetchDisabled bool
+
+	// Predictor selects the branch predictor machine (default the per-PC
+	// PHT; see predictor.go for the zoo variants).
+	Predictor PredictorKind
+	// PredictorBits is log2 of the bimodal/gshare table size (default 6;
+	// ignored by the PHT and the static predictor).
+	PredictorBits uint
 
 	// SpecWindow is the number of instructions executed transiently after
 	// a misprediction; 0 disables speculation entirely.
@@ -114,7 +154,13 @@ func MulExtraCycles(multiplier uint64) uint64 {
 	}
 }
 
-// DefaultConfig models the Cortex-A53 of the paper's evaluation platform.
+// defaultPredictorBits sizes the bimodal/gshare tables when the config
+// leaves PredictorBits zero: 64 entries, small enough that realistic test
+// programs alias.
+const defaultPredictorBits = 6
+
+// DefaultConfig models the Cortex-A53 of the paper's evaluation platform
+// (the A53Like preset of the zoo; see presets.go for the other platforms).
 func DefaultConfig() Config {
 	return Config{
 		Sets:             128,
@@ -122,6 +168,7 @@ func DefaultConfig() Config {
 		LineBits:         6,
 		PageBits:         12,
 		PrefetchRun:      3,
+		PredictorBits:    defaultPredictorBits,
 		SpecWindow:       16,
 		HitCycles:        3,
 		MissCycles:       40,
@@ -139,7 +186,8 @@ const NoSpeculation = -1
 // WithDefaults merges c with DefaultConfig field by field: zero-value fields
 // take the default, set fields survive. Booleans (PrefetchDisabled,
 // ForwardTransientLoads, VarTimeMul), NoiseProb, Replacement (zero is LRU,
-// the default policy) and ReplacementSeed pass through unchanged; use
+// the default policy), ReplacementSeed, Prefetch (zero is the stride
+// engine) and Predictor (zero is the PHT) pass through unchanged; use
 // NoSpeculation rather than 0 to disable speculation explicitly.
 func (c Config) WithDefaults() Config {
 	d := DefaultConfig()
@@ -157,6 +205,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.PrefetchRun == 0 {
 		c.PrefetchRun = d.PrefetchRun
+	}
+	if c.PredictorBits == 0 {
+		c.PredictorBits = d.PredictorBits
 	}
 	if c.SpecWindow == 0 {
 		c.SpecWindow = d.SpecWindow
@@ -188,7 +239,8 @@ type Cache struct {
 	cfg   Config
 	sets  [][]cline
 	clock uint64
-	rr    []int // round-robin victim pointer per set
+	rr    []int      // round-robin victim pointer per set
+	plru  []plruTree // tree-PLRU direction bits per set
 	rng   *rand.Rand
 }
 
@@ -198,11 +250,16 @@ func NewCache(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i] = make([]cline, cfg.Ways)
 	}
-	if cfg.Replacement == RoundRobin {
+	switch cfg.Replacement {
+	case RoundRobin:
 		c.rr = make([]int, cfg.Sets)
-	}
-	if cfg.Replacement == PseudoRandom {
+	case PseudoRandom:
 		c.rng = rand.New(rand.NewSource(cfg.ReplacementSeed))
+	case TreePLRU:
+		c.plru = make([]plruTree, cfg.Sets)
+		for i := range c.plru {
+			c.plru[i] = newPLRUTree(cfg.Ways)
+		}
 	}
 	return c
 }
@@ -220,6 +277,9 @@ func (c *Cache) Access(addr uint64) bool {
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			lines[i].used = c.clock
+			if c.plru != nil {
+				c.plru[set].touch(i)
+			}
 			return true
 		}
 	}
@@ -239,6 +299,8 @@ func (c *Cache) Access(addr uint64) bool {
 			c.rr[set] = (c.rr[set] + 1) % c.cfg.Ways
 		case PseudoRandom:
 			victim = c.rng.Intn(c.cfg.Ways)
+		case TreePLRU:
+			victim = c.plru[set].victim()
 		default: // LRU
 			victim = 0
 			for i := range lines {
@@ -249,6 +311,9 @@ func (c *Cache) Access(addr uint64) bool {
 		}
 	}
 	lines[victim] = cline{tag: tag, valid: true, used: c.clock}
+	if c.plru != nil {
+		c.plru[set].touch(victim)
+	}
 	return false
 }
 
@@ -262,12 +327,16 @@ func (c *Cache) Flush(addr uint64) {
 	}
 }
 
-// FlushAll empties the cache.
+// FlushAll empties the cache and clears the tree-PLRU direction bits (the
+// cold state the platform module restores before every measured run).
 func (c *Cache) FlushAll() {
 	for i := range c.sets {
 		for j := range c.sets[i] {
 			c.sets[i][j] = cline{}
 		}
+	}
+	for i := range c.plru {
+		c.plru[i] = newPLRUTree(c.cfg.Ways)
 	}
 }
 
@@ -362,9 +431,17 @@ func NewPrefetcher(cfg Config) *Prefetcher { return &Prefetcher{cfg: cfg} }
 func (p *Prefetcher) Reset() { p.last, p.str, p.run = 0, 0, 0 }
 
 // OnAccess trains on a demand access and returns a prefetch target when the
-// stride pattern triggers.
+// pattern triggers: the next stride under PrefetchStride, the following
+// line under PrefetchNextLine. Both stop at page boundaries.
 func (p *Prefetcher) OnAccess(addr uint64) (uint64, bool) {
 	if p.cfg.PrefetchDisabled {
+		return 0, false
+	}
+	if p.cfg.Prefetch == PrefetchNextLine {
+		target := (addr>>p.cfg.LineBits + 1) << p.cfg.LineBits
+		if target>>p.cfg.PageBits == addr>>p.cfg.PageBits {
+			return target, true
+		}
 		return 0, false
 	}
 	defer func() { p.last = addr }()
@@ -399,7 +476,8 @@ func (p *Prefetcher) OnAccess(addr uint64) (uint64, bool) {
 // ---------------------------------------------------------------------------
 
 // BranchPredictor is a pattern-history table of 2-bit saturating counters,
-// indexed by instruction position.
+// indexed by instruction position — the PredPHT machine, and the historical
+// default. The other predictor kinds live in predictor.go.
 type BranchPredictor struct {
 	pht map[int]uint8
 }
@@ -411,19 +489,11 @@ func NewBranchPredictor() *BranchPredictor { return &BranchPredictor{pht: make(m
 func (b *BranchPredictor) Reset() { b.pht = make(map[int]uint8) }
 
 // Predict returns the predicted direction for the branch at pc.
-func (b *BranchPredictor) Predict(pc int) bool { return b.pht[pc] >= 2 }
+func (b *BranchPredictor) Predict(pc int) bool { return ctrTaken(b.pht[pc]) }
 
 // Update trains the counter at pc with the resolved direction.
 func (b *BranchPredictor) Update(pc int, taken bool) {
-	c := b.pht[pc]
-	if taken {
-		if c < 3 {
-			c++
-		}
-	} else if c > 0 {
-		c--
-	}
-	b.pht[pc] = c
+	b.pht[pc] = ctrUpdate(b.pht[pc], taken)
 }
 
 // ---------------------------------------------------------------------------
@@ -439,12 +509,16 @@ type Machine struct {
 
 	Cache *Cache
 	PF    *Prefetcher
-	BP    *BranchPredictor
+	BP    Predictor
 
 	// Cycles is the simulated PMC cycle counter.
 	Cycles uint64
 	// TransientLoads counts loads issued speculatively in the last Run.
 	TransientLoads int
+	// Mispredicts counts resolved conditional branches whose prediction
+	// was wrong since the last ResetMicro — the per-platform predictor-
+	// quality signal of the matrix campaigns.
+	Mispredicts int
 
 	ccA, ccB uint64
 
@@ -460,7 +534,7 @@ func New(cfg Config) *Machine {
 		mem:   make(map[uint64]uint64),
 		Cache: NewCache(cfg),
 		PF:    NewPrefetcher(cfg),
-		BP:    NewBranchPredictor(),
+		BP:    NewPredictor(cfg),
 	}
 }
 
@@ -521,6 +595,7 @@ func (m *Machine) ResetMicro() {
 	m.PF.Reset()
 	m.Cycles = 0
 	m.TransientLoads = 0
+	m.Mispredicts = 0
 }
 
 // access performs a demand data access: cache lookup, prefetcher training,
@@ -664,6 +739,9 @@ func (m *Machine) Run(p *arm.Program, maxInstrs int, noise *rand.Rand) error {
 			actual := ins.Cond.Holds(m.ccA, m.ccB)
 			predicted := m.BP.Predict(pc)
 			m.emit(Event{Kind: EvBranch, PC: pc, Taken: actual, Predicted: predicted})
+			if predicted != actual {
+				m.Mispredicts++
+			}
 			if predicted != actual && m.Cfg.SpecWindow > 0 {
 				m.Cycles += m.Cfg.MispredictCycles
 				wrong := t

@@ -1,0 +1,64 @@
+package micro
+
+// Tree-PLRU replacement state for one cache set: one direction bit per
+// internal node of a binary tree whose leaves are the ways. On an access the
+// bits along the accessed way's root-to-leaf path are flipped to point *away*
+// from it; on an eviction the bits are followed from the root and the leaf
+// they lead to is the victim. This is the classic pseudo-LRU used by many
+// L1 designs (and one of the zoo's ablation axes): cheaper than true LRU —
+// ways-1 bits per set instead of a full recency order — and observably
+// different from it, because the tree only remembers one bit of history per
+// subtree pair.
+//
+// The tree is laid out over an arbitrary way count (not just powers of two)
+// by splitting each leaf range [lo,hi) at mid = lo + ceil((hi-lo)/2): the
+// internal nodes of a range of n leaves occupy n-1 bit slots, the root at
+// the range's base slot, the left subtree immediately after it, the right
+// subtree after the left's n_left-1 slots.
+type plruTree struct {
+	bits []bool // len = ways-1; bit false = victim path goes left
+}
+
+func newPLRUTree(ways int) plruTree {
+	if ways <= 1 {
+		return plruTree{}
+	}
+	return plruTree{bits: make([]bool, ways-1)}
+}
+
+// split returns the midpoint of the leaf range [lo,hi) (left half gets the
+// extra leaf on odd sizes) — shared by touch and victim so the two walks
+// always agree on the tree shape.
+func split(lo, hi int) int { return lo + (hi-lo+1)/2 }
+
+// touch updates the path bits so the next victim walk steers away from way.
+func (t plruTree) touch(way int) {
+	lo, hi, node := 0, len(t.bits)+1, 0
+	for hi-lo > 1 {
+		mid := split(lo, hi)
+		if way < mid {
+			// Accessed on the left: point the victim bit right.
+			t.bits[node] = true
+			node, hi = node+1, mid
+		} else {
+			t.bits[node] = false
+			node, lo = node+(mid-lo), mid
+		}
+	}
+}
+
+// victim follows the direction bits from the root and returns the leaf way
+// they select. It does not modify the tree; the subsequent fill's touch
+// redirects the path.
+func (t plruTree) victim() int {
+	lo, hi, node := 0, len(t.bits)+1, 0
+	for hi-lo > 1 {
+		mid := split(lo, hi)
+		if !t.bits[node] {
+			node, hi = node+1, mid
+		} else {
+			node, lo = node+(mid-lo), mid
+		}
+	}
+	return lo
+}

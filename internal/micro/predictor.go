@@ -1,0 +1,167 @@
+package micro
+
+// PredictorKind selects the branch predictor wired into a Machine. The zero
+// value is the per-PC PHT the campaigns have always used, so existing
+// configurations keep today's behavior bit for bit.
+type PredictorKind uint8
+
+// Predictor kinds.
+const (
+	// PredPHT is the original pattern-history table: one 2-bit saturating
+	// counter per branch PC, unbounded (no aliasing).
+	PredPHT PredictorKind = iota
+	// PredAlwaysTaken is the static predictor of cores without dynamic
+	// prediction hardware (M-class): every conditional branch is predicted
+	// taken, training is a no-op.
+	PredAlwaysTaken
+	// PredBimodal is a fixed-size table of 2-bit counters indexed by
+	// pc mod 2^PredictorBits — like PredPHT but with aliasing between
+	// branches that share a table slot, the property that makes its
+	// mistraining behavior platform-distinguishable.
+	PredBimodal
+	// PredGshare is a gshare-lite predictor: a global branch-history
+	// register XORed into the PC to index the counter table, so a branch's
+	// prediction depends on the outcomes of the branches before it.
+	PredGshare
+)
+
+func (k PredictorKind) String() string {
+	switch k {
+	case PredPHT:
+		return "pht"
+	case PredAlwaysTaken:
+		return "always-taken"
+	case PredBimodal:
+		return "bimodal"
+	case PredGshare:
+		return "gshare"
+	}
+	return "predictor(?)"
+}
+
+// Predictor is the branch-direction predictor contract of the simulated
+// core: predict the branch at an instruction index, train on the resolved
+// direction, reset to power-on state. Implementations are deterministic
+// state machines — prediction sequences are a pure function of the update
+// sequence — which is what keeps campaigns reproducible per seed.
+type Predictor interface {
+	Predict(pc int) bool
+	Update(pc int, taken bool)
+	Reset()
+}
+
+// NewPredictor builds the predictor selected by cfg. PredictorBits sizes the
+// bimodal and gshare tables (the PHT is unbounded and always-taken is
+// stateless); a zero PredictorBits falls back to the default table size so
+// a config that skipped WithDefaults still gets a sane machine.
+func NewPredictor(cfg Config) Predictor {
+	bits := cfg.PredictorBits
+	if bits == 0 {
+		bits = defaultPredictorBits
+	}
+	switch cfg.Predictor {
+	case PredAlwaysTaken:
+		return AlwaysTaken{}
+	case PredBimodal:
+		return NewBimodal(bits)
+	case PredGshare:
+		return NewGshare(bits)
+	default:
+		return NewBranchPredictor()
+	}
+}
+
+// AlwaysTaken is the static taken predictor.
+type AlwaysTaken struct{}
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(int) bool { return true }
+
+// Update implements Predictor (static predictors do not train).
+func (AlwaysTaken) Update(int, bool) {}
+
+// Reset implements Predictor.
+func (AlwaysTaken) Reset() {}
+
+// ctrTaken, ctrUpdate: the shared 2-bit saturating-counter automaton
+// (00/01 not-taken, 10/11 taken).
+func ctrTaken(c uint8) bool { return c >= 2 }
+
+func ctrUpdate(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return c
+}
+
+// Bimodal is a fixed-size 2-bit-counter table indexed by the low PC bits.
+type Bimodal struct {
+	table []uint8
+	mask  int
+}
+
+// NewBimodal builds a bimodal predictor with a 2^bits-entry table, all
+// counters weakly not-taken.
+func NewBimodal(bits uint) *Bimodal {
+	n := 1 << bits
+	return &Bimodal{table: make([]uint8, n), mask: n - 1}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc int) bool { return ctrTaken(b.table[pc&b.mask]) }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc int, taken bool) {
+	b.table[pc&b.mask] = ctrUpdate(b.table[pc&b.mask], taken)
+}
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// Gshare is the gshare-lite predictor: global history XOR PC indexes the
+// counter table; the history register shifts in every resolved direction.
+type Gshare struct {
+	table   []uint8
+	mask    int
+	history int
+}
+
+// NewGshare builds a gshare predictor with a 2^bits-entry table and a
+// bits-wide global history register, all counters weakly not-taken.
+func NewGshare(bits uint) *Gshare {
+	n := 1 << bits
+	return &Gshare{table: make([]uint8, n), mask: n - 1}
+}
+
+func (g *Gshare) index(pc int) int { return (pc ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc int) bool { return ctrTaken(g.table[g.index(pc)]) }
+
+// Update implements Predictor. The counter indexed under the pre-update
+// history is trained (the slot Predict consulted), then the direction shifts
+// into the history register.
+func (g *Gshare) Update(pc int, taken bool) {
+	i := g.index(pc)
+	g.table[i] = ctrUpdate(g.table[i], taken)
+	g.history = g.history << 1 & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+}

@@ -1,0 +1,162 @@
+package micro
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestNewPredictorDispatch: every kind builds its machine, and a zero
+// PredictorBits falls back to the default table size instead of a 1-entry
+// table.
+func TestNewPredictorDispatch(t *testing.T) {
+	cases := []struct {
+		kind PredictorKind
+		want string
+	}{
+		{PredPHT, "pht"},
+		{PredAlwaysTaken, "always-taken"},
+		{PredBimodal, "bimodal"},
+		{PredGshare, "gshare"},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+		p := NewPredictor(Config{Predictor: tc.kind})
+		if p == nil {
+			t.Fatalf("%s: nil predictor", tc.want)
+		}
+	}
+	if b := NewPredictor(Config{Predictor: PredBimodal}).(*Bimodal); len(b.table) != 1<<defaultPredictorBits {
+		t.Errorf("zero PredictorBits: table size %d, want %d", len(b.table), 1<<defaultPredictorBits)
+	}
+}
+
+// TestAlwaysTakenIsStatic: predicts taken regardless of training history.
+func TestAlwaysTakenIsStatic(t *testing.T) {
+	f := func(pc uint8, history []bool) bool {
+		p := AlwaysTaken{}
+		for _, h := range history {
+			p.Update(int(pc), h)
+		}
+		return p.Predict(int(pc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBimodalSaturation: the table counters saturate like the PHT's — after
+// enough consistent updates the direction sticks.
+func TestBimodalSaturation(t *testing.T) {
+	f := func(pc uint8, history []bool, dir bool) bool {
+		b := NewBimodal(defaultPredictorBits)
+		for _, h := range history {
+			b.Update(int(pc), h)
+		}
+		for i := 0; i < 4; i++ {
+			b.Update(int(pc), dir)
+		}
+		return b.Predict(int(pc)) == dir
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBimodalAliasing: two branches whose PCs differ by the table size share
+// a counter — the aliasing that distinguishes the bimodal machine from the
+// unbounded PHT.
+func TestBimodalAliasing(t *testing.T) {
+	const bits = 4
+	b := NewBimodal(bits)
+	for i := 0; i < 4; i++ {
+		b.Update(3, true)
+	}
+	if !b.Predict(3 + 1<<bits) {
+		t.Error("aliased PC should inherit the trained direction")
+	}
+	pht := NewBranchPredictor()
+	for i := 0; i < 4; i++ {
+		pht.Update(3, true)
+	}
+	if pht.Predict(3 + 1<<bits) {
+		t.Error("the PHT must not alias distinct PCs")
+	}
+}
+
+// TestGshareHistorySensitivity: with a trained table, the same branch PC can
+// predict differently under different global histories — the property that
+// makes gshare platform-distinguishable from bimodal.
+func TestGshareHistorySensitivity(t *testing.T) {
+	const bits = 4
+	g := NewGshare(bits)
+	// Train pc=0 under history ...01 (prior branch taken) to taken, and
+	// under history ...00 (prior branch not taken) to not-taken.
+	for i := 0; i < 4; i++ {
+		g.Update(7, true)  // history gains a 1
+		g.Update(0, true)  // slot (0 ^ history)
+		g.Update(7, false) // history gains a 0
+		g.Update(0, false)
+	}
+	g.Update(7, true)
+	underTaken := g.Predict(0)
+	g.Update(0, underTaken) // keep history moving
+	g.Update(7, false)
+	underNotTaken := g.Predict(0)
+	if underTaken == underNotTaken {
+		t.Errorf("gshare predictions insensitive to history: both %v", underTaken)
+	}
+}
+
+// TestGshareDeterminismAndReset: identical update sequences give identical
+// prediction sequences, and Reset restores the power-on state.
+func TestGshareDeterminismAndReset(t *testing.T) {
+	f := func(seq []uint8) bool {
+		g1, g2 := NewGshare(5), NewGshare(5)
+		for _, s := range seq {
+			pc, taken := int(s>>1), s&1 == 1
+			if g1.Predict(pc) != g2.Predict(pc) {
+				return false
+			}
+			g1.Update(pc, taken)
+			g2.Update(pc, taken)
+		}
+		g1.Reset()
+		fresh := NewGshare(5)
+		for pc := 0; pc < 64; pc++ {
+			if g1.Predict(pc) != fresh.Predict(pc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(33))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMachineCountsMispredicts: a machine with an always-taken predictor
+// mispredicts a never-taken branch exactly once per run, and ResetMicro
+// clears the counter.
+func TestMachineCountsMispredicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Predictor = PredAlwaysTaken
+	m := New(cfg)
+	runProg(t, m, `
+        cmp x0, x1
+        b.lo body
+        b end
+    body:
+        movz x2, #7
+    end:
+        hlt`, map[string]uint64{"x0": 5, "x1": 3}, nil)
+	if m.Mispredicts != 1 {
+		t.Errorf("Mispredicts = %d, want 1 (always-taken on a not-taken branch)", m.Mispredicts)
+	}
+	m.ResetMicro()
+	if m.Mispredicts != 0 {
+		t.Errorf("ResetMicro left Mispredicts = %d", m.Mispredicts)
+	}
+}

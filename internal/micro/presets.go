@@ -1,0 +1,143 @@
+package micro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the microarchitecture zoo: named platform presets for the
+// matrix campaigns. The paper validates its models against one platform (a
+// Cortex-A53 / Raspberry Pi 3); its conclusion — and the follow-up work on
+// abstract side-channel models for computer architectures — is that
+// soundness is a *per-platform* property: the same refined relation can be
+// sound on an in-order core and falsified by a prefetcher or a wider
+// speculation window. The presets span the axes that matter for that
+// question: cache geometry, replacement policy, prefetcher variant,
+// predictor type, and speculation-window rules.
+//
+// Only A53Like models validated hardware (the paper's evaluation platform).
+// A72Like and InOrderM are *plausible* corners of the design space — a
+// wide speculating core with transient-load forwarding, and a conservative
+// in-order core without speculation — chosen to bracket the A53, not to
+// reproduce specific silicon. The ablation presets move one axis at a time
+// off the A53 baseline so a matrix campaign attributes a per-platform
+// soundness flip to a single mechanism.
+
+// A53Like is the paper's evaluation platform: the Cortex-A53-flavored
+// in-order core of DefaultConfig (LRU 128x4x64B L1D, stride prefetcher,
+// per-PC PHT, restricted 16-instruction speculation without transient-load
+// forwarding).
+func A53Like() Config { return DefaultConfig() }
+
+// A72Like is a wide-core corner: bigger-but-shallower cache (256 sets,
+// 2 ways), tree-PLRU replacement, an eager stride prefetcher (run of 2),
+// gshare prediction, and an aggressive 48-instruction speculation window
+// that forwards transient load results — the out-of-order-like behavior
+// that falsifies models the A53 keeps sound.
+func A72Like() Config {
+	c := DefaultConfig()
+	c.Sets = 256
+	c.Ways = 2
+	c.Replacement = TreePLRU
+	c.PrefetchRun = 2
+	c.Predictor = PredGshare
+	c.SpecWindow = 48
+	c.ForwardTransientLoads = true
+	c.HitCycles = 4
+	c.MissCycles = 60
+	c.MispredictCycles = 14
+	return c
+}
+
+// InOrderM is a conservative M-class-flavored core: a small cache (32 sets,
+// 2 ways), no prefetcher, a static always-taken predictor, and no
+// speculation at all — the platform most observational models are sound on,
+// the matrix campaign's control row.
+func InOrderM() Config {
+	c := DefaultConfig()
+	c.Sets = 32
+	c.Ways = 2
+	c.PrefetchDisabled = true
+	c.Predictor = PredAlwaysTaken
+	c.SpecWindow = NoSpeculation
+	c.HitCycles = 1
+	c.MissCycles = 12
+	c.MispredictCycles = 3
+	return c
+}
+
+// presets maps preset names to config builders. The a53-* entries are the
+// single-axis ablations off the A53 baseline.
+var presets = map[string]func() Config{
+	"a53": A53Like,
+	"a72": A72Like,
+	"m0":  InOrderM,
+
+	// Replacement-policy axis.
+	"a53-plru": func() Config {
+		c := A53Like()
+		c.Replacement = TreePLRU
+		return c
+	},
+	"a53-prand": func() Config {
+		c := A53Like()
+		c.Replacement = PseudoRandom
+		return c
+	},
+	// Prefetcher axis.
+	"a53-nopf": func() Config {
+		c := A53Like()
+		c.PrefetchDisabled = true
+		return c
+	},
+	"a53-nextline": func() Config {
+		c := A53Like()
+		c.Prefetch = PrefetchNextLine
+		return c
+	},
+	// Predictor axis.
+	"a53-bimodal": func() Config {
+		c := A53Like()
+		c.Predictor = PredBimodal
+		return c
+	},
+	"a53-gshare": func() Config {
+		c := A53Like()
+		c.Predictor = PredGshare
+		return c
+	},
+	// Speculation-rule axis.
+	"a53-nospec": func() Config {
+		c := A53Like()
+		c.SpecWindow = NoSpeculation
+		return c
+	},
+	"a53-wide": func() Config {
+		c := A53Like()
+		c.SpecWindow = 48
+		c.ForwardTransientLoads = true
+		return c
+	},
+}
+
+// Preset returns the named platform configuration. Names are the zoo's
+// stable identifiers (cmd/scamv -platforms takes a comma list of them);
+// unknown names list the known ones in the error.
+func Preset(name string) (Config, error) {
+	if f, ok := presets[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return f(), nil
+	}
+	return Config{}, fmt.Errorf("micro: unknown platform preset %q (known: %s)",
+		name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames returns every preset name in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

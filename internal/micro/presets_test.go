@@ -1,0 +1,82 @@
+package micro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetA53IsDefault: the a53 preset IS today's default platform — the
+// contract that keeps a matrix campaign's A53 row byte-identical to a plain
+// single-platform campaign.
+func TestPresetA53IsDefault(t *testing.T) {
+	got, err := Preset("a53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != DefaultConfig() {
+		t.Fatalf("Preset(a53) = %+v, want DefaultConfig()", got)
+	}
+}
+
+// TestPresetsAreWithDefaultsStable: every preset is a fully-specified config —
+// WithDefaults must be a no-op on it. A preset that relies on WithDefaults
+// filling a field would silently change when the defaults do.
+func TestPresetsAreWithDefaultsStable(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if merged := c.WithDefaults(); merged != c {
+			t.Errorf("%s: WithDefaults changed the preset:\n  preset: %+v\n  merged: %+v", name, c, merged)
+		}
+	}
+}
+
+// TestPresetNameHandling: lookup is case- and whitespace-insensitive, and an
+// unknown name errors listing the known ones.
+func TestPresetNameHandling(t *testing.T) {
+	if _, err := Preset(" A72 "); err != nil {
+		t.Errorf("case/space-normalized lookup failed: %v", err)
+	}
+	_, err := Preset("pentium")
+	if err == nil {
+		t.Fatal("unknown preset must error")
+	}
+	for _, want := range []string{"a53", "a72", "m0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should list known preset %q: %v", want, err)
+		}
+	}
+}
+
+// TestPresetNamesSortedAndComplete: PresetNames is sorted (stable CLI help
+// and error output) and covers the three headline platforms plus every
+// ablation axis.
+func TestPresetNamesSorted(t *testing.T) {
+	names := PresetNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("PresetNames not sorted: %v", names)
+		}
+	}
+	if len(names) < 11 {
+		t.Errorf("expected at least 11 presets (3 platforms + 8 ablations), got %d: %v", len(names), names)
+	}
+}
+
+// TestPresetsDistinguishable: each headline platform builds a distinct
+// machine configuration — a matrix over {a53, a72, m0} is not a matrix over
+// one platform three times.
+func TestPresetsDistinguishable(t *testing.T) {
+	a53, a72, m0 := A53Like(), A72Like(), InOrderM()
+	if a53 == a72 || a53 == m0 || a72 == m0 {
+		t.Fatal("headline presets must be pairwise distinct")
+	}
+	if m0.SpecWindow != NoSpeculation {
+		t.Error("InOrderM must not speculate")
+	}
+	if !a72.ForwardTransientLoads {
+		t.Error("A72Like must forward transient loads")
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "fmt"
+
+// This file ties observational-model geometry to matrix-campaign platforms.
+// Every model here observes cache line and set indexes through a Geometry;
+// a platform zoo (internal/micro presets) varies the cache shape per
+// platform, and a model instantiated with one platform's geometry observes
+// a *different* partition of addresses than another platform implements.
+// That mismatch is not automatically an error — validating an A53-geometry
+// model against a differently shaped core is exactly the kind of soundness
+// question a matrix campaign asks — but it should be a deliberate choice,
+// so the helpers below make the platform → geometry derivation explicit.
+
+// GeometryOf derives a model geometry from a platform's L1D shape: the line
+// size (as log2 bits) and the set count. The set count must be a power of
+// two — set indexes are observed as bit extracts, which cannot express a
+// non-power-of-two modulus.
+func GeometryOf(lineBits uint, sets int) (Geometry, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return Geometry{}, fmt.Errorf("obs: set count %d is not a power of two", sets)
+	}
+	var setBits uint
+	for s := sets; s > 1; s >>= 1 {
+		setBits++
+	}
+	return Geometry{LineBits: lineBits, SetBits: setBits}, nil
+}
+
+// Matches reports whether this geometry describes a platform with the given
+// L1D shape — the check a matrix campaign uses to tell which platforms the
+// model's observations are native to.
+func (g Geometry) Matches(lineBits uint, sets int) bool {
+	pg, err := GeometryOf(lineBits, sets)
+	return err == nil && pg == g
+}

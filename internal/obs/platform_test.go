@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+
+	"scamv/internal/micro"
+)
+
+// geometryOf adapts a zoo preset's cache shape to GeometryOf.
+func geometryOf(t *testing.T, cfg micro.Config) Geometry {
+	t.Helper()
+	g, err := GeometryOf(cfg.LineBits, cfg.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGeometryOfPresets: the default platform's derived geometry is exactly
+// the package default (the models were written for the A53-like core), and
+// the other zoo platforms derive the geometry their set counts imply.
+func TestGeometryOfPresets(t *testing.T) {
+	if g := geometryOf(t, micro.A53Like()); g != DefaultGeometry {
+		t.Errorf("A53Like geometry = %+v, want %+v", g, DefaultGeometry)
+	}
+	if g := geometryOf(t, micro.A72Like()); g != (Geometry{LineBits: 6, SetBits: 8}) {
+		t.Errorf("A72Like geometry = %+v, want 256 sets = 8 set bits", g)
+	}
+	if g := geometryOf(t, micro.InOrderM()); g != (Geometry{LineBits: 6, SetBits: 5}) {
+		t.Errorf("InOrderM geometry = %+v, want 32 sets = 5 set bits", g)
+	}
+	// Every preset must have a derivable geometry: power-of-two set counts
+	// are part of the zoo contract.
+	for _, name := range micro.PresetNames() {
+		cfg, err := micro.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := GeometryOf(cfg.LineBits, cfg.Sets); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}
+
+func TestGeometryOfRejectsNonPowerOfTwo(t *testing.T) {
+	for _, sets := range []int{0, -4, 3, 96, 127} {
+		if _, err := GeometryOf(6, sets); err == nil {
+			t.Errorf("GeometryOf(6, %d) accepted a non-power-of-two set count", sets)
+		}
+	}
+}
+
+// TestGeometryMatches: a geometry is native to exactly the platforms whose
+// cache shape it was derived from.
+func TestGeometryMatches(t *testing.T) {
+	a53 := micro.A53Like()
+	if !DefaultGeometry.Matches(a53.LineBits, a53.Sets) {
+		t.Error("DefaultGeometry must match the default platform")
+	}
+	a72 := micro.A72Like()
+	if DefaultGeometry.Matches(a72.LineBits, a72.Sets) {
+		t.Error("DefaultGeometry must not match the A72-like shape")
+	}
+	if DefaultGeometry.Matches(6, 100) {
+		t.Error("Matches must reject underivable shapes")
+	}
+}

@@ -145,6 +145,34 @@ func FuzzBitblastVsEval(f *testing.F) {
 	})
 }
 
+// FuzzMatrixDiff differentially executes fuzzer-shaped structured programs
+// against every platform preset of the microarchitecture zoo: the final
+// architectural state must agree with the lifter + symbolic executor on all
+// of them, since predictors, prefetchers, replacement policies, and
+// speculation windows are microarchitectural only. Divergences are shrunk
+// against the full matrix before reporting.
+func FuzzMatrixDiff(f *testing.F) {
+	f.Add([]byte("matrix-diff"))
+	f.Add([]byte("\x02\x01loads stores and branches"))
+	f.Add([]byte("\x03\x02\x01\x00compare and branch over body"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, regs, mem := DecodeProgram(data)
+		err := DiffProgramMatrix(p, regs, mem, nil)
+		if err == nil {
+			return
+		}
+		var mm *Mismatch
+		if errors.As(err, &mm) {
+			small := ShrinkProgram(p, func(q *arm.Program) bool {
+				var m *Mismatch
+				return errors.As(DiffProgramMatrix(q, regs, mem, nil), &m)
+			})
+			t.Fatalf("%v\nshrunk repro:\n%s", err, small)
+		}
+		t.Fatal(err)
+	})
+}
+
 // FuzzLifterVsMicro differentially executes fuzzer-shaped structured programs
 // through the lifter + symbolic executor and through the microarchitectural
 // simulator, comparing final registers and memory. A divergence is shrunk to

@@ -1,0 +1,96 @@
+package oracle
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scamv/internal/arm"
+	"scamv/internal/expr"
+	"scamv/internal/micro"
+)
+
+// TestDiffProgramMatrixAgreesOnRandomPrograms: the architectural semantics
+// must be identical on every platform of the zoo — speculation windows,
+// predictors, prefetchers, and replacement policies are microarchitectural
+// only.
+func TestDiffProgramMatrixAgreesOnRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(20211019))
+	cfg := DefaultGen()
+	for i := 0; i < 30; i++ {
+		p := RandomProgram(r, cfg)
+		regs, mem := RandomState(r, cfg)
+		if err := DiffProgramMatrix(p, regs, mem, nil); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+// mispredictBug is the injected platform-dependent bug of the matrix teeth
+// test: run the program normally, then corrupt a register iff the platform's
+// predictor mispredicted — an "architectural state leak on misspeculation"
+// that only platforms with a mispredicting predictor can exhibit.
+func mispredictBug(m *micro.Machine, p *arm.Program, maxInstrs int) error {
+	if err := m.Run(p, maxInstrs, nil); err != nil {
+		return err
+	}
+	if m.Mispredicts > 0 {
+		m.Regs[5] ^= 0xdead
+	}
+	return nil
+}
+
+// TestDiffProgramMatrixCatchesMispredictBug proves the matrix sweep has
+// teeth: a bug gated on a misprediction is invisible on the always-taken
+// in-order platform (the branch below is taken, so its static prediction is
+// correct) but every cold dynamic predictor predicts not-taken and trips it.
+// Single-platform differential testing against the "right" platform would
+// miss the bug; the matrix cannot.
+func TestDiffProgramMatrixCatchesMispredictBug(t *testing.T) {
+	p, err := arm.Parse("mispredict-bug", `
+        cmp x0, x1
+        b.lo skip
+        movz x5, #0x111
+    skip:
+        hlt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := map[string]uint64{"x0": 1, "x1": 2} // 1 < 2: branch taken
+	mem := expr.NewMemModel(0)
+
+	// Dormant on the always-taken platform: prediction is correct, the bug
+	// never fires, the differential passes.
+	m0 := micro.InOrderM()
+	if err := DiffProgram(p, regs, mem, &DiffOptions{Config: &m0, RunMachine: mispredictBug}); err != nil {
+		t.Fatalf("always-taken platform should not trip the bug: %v", err)
+	}
+
+	// Live on the default platform: the cold PHT predicts not-taken, the
+	// taken branch mispredicts, the corruption lands in x5.
+	a53 := micro.A53Like()
+	err = DiffProgram(p, regs, mem, &DiffOptions{Config: &a53, RunMachine: mispredictBug})
+	var mm *Mismatch
+	if !errors.As(err, &mm) {
+		t.Fatalf("PHT platform should trip the bug: %v", err)
+	}
+	if mm.Loc != "register x5" {
+		t.Errorf("mismatch at %s, want register x5", mm.Loc)
+	}
+
+	// The matrix sweep therefore catches it, names the platform, and keeps
+	// the Mismatch recoverable for shrinking.
+	err = DiffProgramMatrix(p, regs, mem, &DiffOptions{RunMachine: mispredictBug})
+	if !errors.As(err, &mm) {
+		t.Fatalf("matrix sweep missed the injected bug: %v", err)
+	}
+	if !strings.Contains(err.Error(), "platform ") {
+		t.Errorf("matrix error should name the platform: %v", err)
+	}
+
+	// And without the injected bug the same program is clean everywhere.
+	if err := DiffProgramMatrix(p, regs, mem, nil); err != nil {
+		t.Fatalf("clean program flagged: %v", err)
+	}
+}

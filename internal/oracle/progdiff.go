@@ -26,6 +26,12 @@ type DiffOptions struct {
 	MaxInstrs int
 	// MaxSteps bounds symbolic execution blocks per path (0: default).
 	MaxSteps int
+	// RunMachine executes the simulator side; nil means (*micro.Machine).Run.
+	// The hook exists for the matrix teeth tests: a wrapper can corrupt
+	// architectural state conditioned on a microarchitectural event (say, a
+	// branch misprediction) to prove the cross-platform differential catches
+	// bugs that only some platforms trigger.
+	RunMachine func(m *micro.Machine, p *arm.Program, maxInstrs int) error
 }
 
 // Mismatch is a divergence between the symbolic semantics (lifter +
@@ -84,7 +90,13 @@ func DiffProgram(p *arm.Program, regs map[string]uint64, mem *expr.MemModel, o *
 	if err := m.LoadState(regs, mem); err != nil {
 		return err
 	}
-	if err := m.Run(p, o.MaxInstrs, nil); err != nil {
+	run := o.RunMachine
+	if run == nil {
+		run = func(m *micro.Machine, p *arm.Program, maxInstrs int) error {
+			return m.Run(p, maxInstrs, nil)
+		}
+	}
+	if err := run(m, p, o.MaxInstrs); err != nil {
 		return fmt.Errorf("oracle: micro: %w", err)
 	}
 
@@ -116,6 +128,31 @@ func DiffProgram(p *arm.Program, regs map[string]uint64, mem *expr.MemModel, o *
 	for addr := range micMem.Data {
 		if got, want := symMem.Get(addr), micMem.Get(addr); got != want {
 			return &Mismatch{Prog: p, Loc: fmt.Sprintf("memory %#x", addr), Sym: got, Mic: want}
+		}
+	}
+	return nil
+}
+
+// DiffProgramMatrix sweeps DiffProgram across the whole platform zoo: the
+// architectural contract says speculation windows, predictors, prefetchers,
+// and replacement policies never touch registers or memory, so the
+// differential must hold under EVERY preset, not just the default A53-like
+// core. The first diverging platform is reported by name; errors.As still
+// recovers the underlying *Mismatch for shrinking.
+func DiffProgramMatrix(p *arm.Program, regs map[string]uint64, mem *expr.MemModel, o *DiffOptions) error {
+	base := DiffOptions{}
+	if o != nil {
+		base = *o
+	}
+	for _, name := range micro.PresetNames() {
+		cfg, err := micro.Preset(name)
+		if err != nil {
+			return err
+		}
+		po := base
+		po.Config = &cfg
+		if err := DiffProgram(p, regs, mem, &po); err != nil {
+			return fmt.Errorf("platform %s: %w", name, err)
 		}
 	}
 	return nil

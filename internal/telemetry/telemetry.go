@@ -39,9 +39,11 @@ import (
 // "timeout", "skip", "quarantine", "breaker" (new fields Reason, Attempt,
 // From, To). Version 3 adds the portfolio/shape-cache fields on "query"
 // records (Winner, SharedClauses) and the "shape" kind (Hit) recording
-// campaign shape-cache lookups; v1 and v2 traces remain loadable. Readers
-// reject records from a newer schema.
-const SchemaVersion = 3
+// campaign shape-cache lookups; v1 and v2 traces remain loadable. Version 4
+// adds the "platform" kind: one record per (platform, test) of a matrix
+// campaign, carrying the platform name in Name alongside the verdict fields.
+// Readers reject records from a newer schema.
+const SchemaVersion = 4
 
 // Record is one JSONL trace line. One flat struct serves all kinds; fields
 // not meaningful for a kind are zero and omitted from the encoding (their
@@ -64,6 +66,8 @@ const SchemaVersion = 3
 //	skip      one test abandoned under FailPolicy Degrade: Prog, Test, Reason
 //	quarantine one program quarantined: Prog, Reason
 //	breaker   one circuit-breaker transition: Name, From, To
+//	platform  one platform's verdict for one test of a matrix campaign:
+//	          Name (platform), Prog, Test, Verdict, DurUS
 type Record struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"`
@@ -175,6 +179,10 @@ type Tracer struct {
 	shapeMisses   atomic.Int64
 	winsMu        sync.Mutex
 	wins          []int64 // index = winner-1, grown on demand
+
+	// Per-platform verdict aggregates of a matrix campaign (schema v4).
+	platMu    sync.Mutex
+	platforms map[string]*PlatformCount
 
 	stagesMu sync.RWMutex
 	stages   map[string]*stageAgg
@@ -345,6 +353,35 @@ func (t *Tracer) Verdict(prog, test int, verdict string, dur time.Duration) {
 		Verdict: verdict, DurUS: dur.Microseconds()})
 }
 
+// PlatformVerdict records one platform's verdict for one test case of a
+// matrix campaign. Unlike Verdict it does not bump the campaign experiment
+// counters — the primary platform's Verdict call already did — it feeds the
+// per-platform aggregates and the v4 "platform" trace kind.
+func (t *Tracer) PlatformVerdict(prog, test int, platform, verdict string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.platMu.Lock()
+	if t.platforms == nil {
+		t.platforms = make(map[string]*PlatformCount)
+	}
+	pc := t.platforms[platform]
+	if pc == nil {
+		pc = &PlatformCount{Name: platform}
+		t.platforms[platform] = pc
+	}
+	pc.Experiments++
+	switch verdict {
+	case "counterexample":
+		pc.Counterexamples++
+	case "inconclusive":
+		pc.Inconclusive++
+	}
+	t.platMu.Unlock()
+	t.write(&Record{Kind: "platform", TSus: t.now(), Prog: prog, Test: test,
+		Name: platform, Verdict: verdict, DurUS: dur.Microseconds()})
+}
+
 // Retry records one platform-execution retry: attempt (0-based) failed with
 // reason and will be re-attempted after backoff.
 func (t *Tracer) Retry(prog, test, attempt int, reason string) {
@@ -404,6 +441,14 @@ func (t *Tracer) ProgramDone() {
 	t.programs.Add(1)
 }
 
+// PlatformCount is one matrix platform's live verdict aggregate.
+type PlatformCount struct {
+	Name            string
+	Experiments     int64
+	Counterexamples int64
+	Inconclusive    int64
+}
+
 // StageCount is one stage's live aggregate in a Counters snapshot.
 type StageCount struct {
 	Name  string
@@ -451,6 +496,10 @@ type Counters struct {
 	ShapeHits     int64
 	ShapeMisses   int64
 
+	// Platforms holds per-platform verdict aggregates of matrix campaigns,
+	// sorted by platform name; empty for single-platform campaigns.
+	Platforms []PlatformCount
+
 	Stages []StageCount // first-seen (pipeline) order
 }
 
@@ -486,6 +535,12 @@ func (t *Tracer) Snapshot() Counters {
 	t.winsMu.Lock()
 	c.PortfolioWins = append([]int64(nil), t.wins...)
 	t.winsMu.Unlock()
+	t.platMu.Lock()
+	for _, pc := range t.platforms {
+		c.Platforms = append(c.Platforms, *pc)
+	}
+	t.platMu.Unlock()
+	sort.Slice(c.Platforms, func(i, j int) bool { return c.Platforms[i].Name < c.Platforms[j].Name })
 	c.QueryP50, c.QueryP95, c.QueryP99 = t.queryHist.Quantiles()
 	t.stagesMu.RLock()
 	order := append([]*stageAgg(nil), t.order...)

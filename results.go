@@ -97,6 +97,12 @@ func FormatTable(results ...*Result) string {
 		sb.WriteString("\n")
 	}
 	for _, r := range results {
+		if len(r.Matrix) > 0 {
+			sb.WriteString("\n")
+			sb.WriteString(FormatMatrix(r))
+		}
+	}
+	for _, r := range results {
 		if len(r.Stages) > 0 {
 			sb.WriteString("\n")
 			sb.WriteString(FormatStages(r))

@@ -128,11 +128,24 @@ type Experiment struct {
 	// trace-derived aggregates are engine-independent.
 	Trace *telemetry.Tracer
 
-	// Platform executes experiments; nil means the simulated Cortex-A53
-	// (SimPlatform). A deployment against real hardware plugs in here —
-	// possibly wrapped in a MultiPlatform pool or a faultinject chaos
-	// platform.
+	// Platform executes experiments; nil means the simulator (SimPlatform)
+	// configured by Micro — by default the Cortex-A53-like core. A deployment
+	// against real hardware plugs in here — possibly wrapped in a
+	// MultiPlatform pool or a faultinject chaos platform.
 	Platform Platform
+
+	// Platforms, when non-empty, turns the campaign into a platform-matrix
+	// campaign: the test suite is generated once and every test case is
+	// executed on each listed platform back to back (batched execution),
+	// producing one PlatformResult row per platform in Result.Matrix.
+	// Platform 0 is the primary row — its verdicts feed the top-level Result
+	// counts exactly as a single-platform campaign's would. See matrix.go.
+	Platforms []PlatformSpec
+
+	// matrixExps holds the per-platform experiment clones of a matrix
+	// campaign (the campaign experiment with Micro swapped), built by
+	// RunContext via buildMatrix.
+	matrixExps []*Experiment
 
 	// FailPolicy selects what happens when a platform call keeps failing:
 	// FailFast (zero value) aborts the campaign as before, Degrade records
@@ -292,6 +305,11 @@ type Result struct {
 	// encoded; both deterministic per seed). Zero when the cache is off.
 	ShapeHits   int64
 	ShapeMisses int64
+
+	// Matrix holds one soundness row per platform of a matrix campaign
+	// (Experiment.Platforms), in platform order; empty for single-platform
+	// campaigns. Row 0 mirrors the top-level counts. See matrix.go.
+	Matrix []PlatformResult
 }
 
 // AvgGen returns the mean generation time per experiment.
@@ -497,6 +515,10 @@ type programResult struct {
 	skips        []Skip
 	retries      int
 	timeouts     int
+
+	// platforms is the per-platform tally of a matrix campaign, one entry
+	// per Experiment.Platforms spec; nil otherwise. See matrix.go.
+	platforms []platformTally
 }
 
 func wordsEqual(a, b []uint32) bool {
@@ -592,8 +614,27 @@ func generateTests(ctx context.Context, e *Experiment, pl *Pipeline, p int) genO
 // FailPolicy Degrade a test whose retry budget is exhausted becomes a skip
 // record instead of a campaign abort, and QuarantineAfter consecutive
 // failures quarantine the program (its remaining tests count as skipped).
+//
+// In a matrix campaign (Experiment.Platforms) each test case is a batch: the
+// K platform runs execute back to back before the next test, on the primary
+// platform first (platform 0, whose verdicts feed the single-platform
+// bookkeeping below) and then on every other platform, tallied per row.
+// Batching lives here in the shared stage body, so the staged and monolithic
+// engines batch identically.
 func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
 	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1}
+	matrix := e.matrixExps
+	if len(matrix) > 0 {
+		out.platforms = make([]platformTally, len(matrix))
+		for k := range out.platforms {
+			out.platforms[k].firstCETest = -1
+		}
+	}
+	primary := e
+	if len(matrix) > 0 {
+		primary = matrix[0]
+	}
+	platformName := func(k int) string { return e.Platforms[k].Name }
 	spanStart := time.Now()
 	trainCache := map[int]*core.State{}
 	consecutive := 0
@@ -608,7 +649,7 @@ func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g g
 			}
 		}
 		exeStart := time.Now()
-		verdict, stats, err := pl.executeTestCase(ctx, e, p, t, tc, train, noiseSeed(e.Seed, p, t))
+		verdict, stats, err := pl.executeTestCase(ctx, primary, p, t, tc, train, noiseSeed(e.Seed, p, t))
 		exeDur := time.Since(exeStart)
 		out.exeTime += exeDur
 		out.retries += stats.retries
@@ -620,9 +661,18 @@ func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g g
 			out.skippedTests++
 			out.skips = append(out.skips, Skip{Prog: p, Test: t, Reason: err.Error()})
 			e.Trace.Skip(p, t, err.Error())
+			// A primary failure skips the whole batch: the matrix rows stay
+			// aligned on the same executed test set.
+			for k := range out.platforms {
+				out.platforms[k].skipped++
+			}
 			consecutive++
 			if consecutive >= e.QuarantineAfter {
-				out.skippedTests += len(g.tests) - t - 1
+				remaining := len(g.tests) - t - 1
+				out.skippedTests += remaining
+				for k := range out.platforms {
+					out.platforms[k].skipped += remaining
+				}
 				out.quarantined = true
 				reason := fmt.Sprintf("quarantined after %d consecutive failures (last: %v)", consecutive, err)
 				out.skips = append(out.skips, Skip{Prog: p, Test: -1, Reason: reason})
@@ -645,7 +695,10 @@ func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g g
 		case Inconclusive:
 			out.inconclusive++
 		}
-		if e.Log != nil {
+		logRecord := func(platform string, v Verdict, d time.Duration) {
+			if e.Log == nil {
+				return
+			}
 			out.records = append(out.records, logdb.Record{
 				Experiment: e.Name,
 				Program:    pl.Prog.Name,
@@ -653,11 +706,44 @@ func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g g
 				PathA:      tc.PathA,
 				PathB:      tc.PathB,
 				Class:      tc.Class,
-				Verdict:    verdict.String(),
+				Verdict:    v.String(),
+				Platform:   platform,
 				GenMicros:  g.durs[t].Microseconds(),
-				ExeMicros:  exeDur.Microseconds(),
+				ExeMicros:  d.Microseconds(),
 				Diff:       tc.Diff(),
 			})
+		}
+		if len(matrix) == 0 {
+			logRecord("", verdict, exeDur)
+			continue
+		}
+		// Matrix batch: tally the primary run as row 0, then run the
+		// remaining platforms on the same test case with the same training
+		// state and noise seed (both platform-independent by construction,
+		// which is what keeps a matrix row comparable to the equivalent
+		// single-platform campaign).
+		out.platforms[0].count(verdict, exeDur, t)
+		e.Trace.PlatformVerdict(p, t, platformName(0), verdict.String(), exeDur)
+		logRecord(platformName(0), verdict, exeDur)
+		for k := 1; k < len(matrix); k++ {
+			kStart := time.Now()
+			kv, kStats, kerr := pl.executeTestCase(ctx, matrix[k], p, t, tc, train, noiseSeed(e.Seed, p, t))
+			kDur := time.Since(kStart)
+			out.exeTime += kDur
+			out.retries += kStats.retries
+			out.timeouts += kStats.timeouts
+			if kerr != nil {
+				if e.FailPolicy != Degrade || ctx.Err() != nil {
+					return nil, fmt.Errorf("platform %s: %w", platformName(k), kerr)
+				}
+				// A secondary-platform failure skips only that row's run; the
+				// primary bookkeeping (and quarantine) is untouched.
+				out.platforms[k].skipped++
+				continue
+			}
+			out.platforms[k].count(kv, kDur, t)
+			e.Trace.PlatformVerdict(p, t, platformName(k), kv.String(), kDur)
+			logRecord(platformName(k), kv, kDur)
 		}
 	}
 	e.Trace.Span("execute", p, spanStart)
@@ -719,6 +805,20 @@ func (res *Result) mergeProgram(e *Experiment, p int, out *programResult) error 
 			res.TTC = out.ttcWall
 		}
 	}
+	for k := range out.platforms {
+		pt, row := &out.platforms[k], &res.Matrix[k]
+		row.Experiments += pt.experiments
+		row.Counterexamples += pt.counterexamples
+		row.Inconclusive += pt.inconclusive
+		row.SkippedTests += pt.skipped
+		row.ExeTime += pt.exeTime
+		if pt.found && !row.Found {
+			// Programs merge in ascending order, so this is the first
+			// counterexample in campaign order — deterministic per seed.
+			row.Found = true
+			row.FirstCEProgram, row.FirstCETest = p, pt.firstCETest
+		}
+	}
 	if e.Log != nil {
 		for _, rec := range out.records {
 			if err := e.Log.Append(rec); err != nil {
@@ -761,6 +861,16 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	}
 	if e.SharedCache && !e.LegacySolver {
 		e.shapeCache = smt.NewShapeCache()
+	}
+	if err := buildMatrix(&e); err != nil {
+		return nil, err
+	}
+	for _, spec := range e.Platforms {
+		res.Matrix = append(res.Matrix, PlatformResult{
+			Platform:       spec.Name,
+			FirstCEProgram: -1,
+			FirstCETest:    -1,
+		})
 	}
 	start := time.Now()
 	var err error
