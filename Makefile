@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke matrix-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench-matrix bench
+.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke matrix-smoke obs-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench-matrix bench-obs bench
 
-ci: build vet race portfolio-smoke matrix-smoke bench-gen
+ci: build vet race portfolio-smoke matrix-smoke obs-smoke bench-gen
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,15 @@ matrix-smoke:
 	$(GO) test -race -count=1 -run 'TestMatrix|TestFormatTableRendersMatrix' .
 	$(GO) test -race -count=1 -run 'TestDiffProgramMatrix' ./internal/oracle
 
+# Observatory smoke: the telemetry and analysis packages under the race
+# detector (Prometheus renderer, SSE stream, flight recorder, trace diff),
+# plus the root end-to-end smoke — a tiny campaign on -debug-addr=:0 whose
+# /metrics is scraped and format-checked, one SSE tick read, and one forced
+# anomaly capture's bundle verified on disk.
+obs-smoke:
+	$(GO) test -race -count=1 ./internal/telemetry ./internal/analysis
+	$(GO) test -race -count=1 -run 'TestObservatory' .
+
 # Matrix-campaign benchmark: runs the K=3 platform matrix against three
 # sequential single-platform campaigns and writes BENCH_matrix.json (wall
 # clocks, ratio, per-platform verdict rows). Fails if any per-platform count
@@ -84,6 +93,14 @@ bench-campaign:
 # 1.25x flake ceiling or if tracing changes any campaign count.
 bench-telemetry:
 	BENCH_TELEMETRY=1 $(GO) test -run TestWriteBenchTelemetry -count=1 -v .
+
+# Observatory-overhead benchmark: runs the traced MLine campaign with and
+# without the full observability plane (debug server, 50ms /metrics scraper,
+# 50ms SSE dashboard client, armed flight recorder) and writes
+# BENCH_obs.json. Target is ≤1.05x over trace-only; fails past the 1.25x
+# flake ceiling or if observation changes any campaign count.
+bench-obs:
+	BENCH_OBS=1 $(GO) test -run TestWriteBenchObs -count=1 -v .
 
 # Full paper-table benchmark suite (one iteration each).
 bench:

@@ -10,6 +10,12 @@
 //	scamv -log run.jsonl           # also append per-experiment records
 //	scamv -trace t.jsonl -progress # telemetry trace + live progress line
 //	scamv -report t.jsonl          # log aggregates or trace latency report
+//	scamv -report-diff old.jsonl new.jsonl
+//	                               # align two traces: latency deltas, solver
+//	                               # effort regressions, verdict drift
+//	scamv -debug-addr :6060        # /metrics, /debug/scamv/live, pprof
+//	scamv -flight-dir flights      # anomaly flight recorder: ring + goroutine
+//	                               # dump bundles on slow queries and stalls
 //	scamv -chaos heavy -fail-policy degrade -retries 2 -exec-timeout 100ms
 //	                               # fault-injected campaign that degrades
 //	                               # instead of aborting
@@ -43,6 +49,8 @@ func main() {
 		seed      = flag.Int64("seed", 2021, "campaign seed")
 		logPath   = flag.String("log", "", "append per-experiment JSON records to this file")
 		report    = flag.String("report", "", "analyse a previously written log or trace file and exit")
+		reportDif = flag.String("report-diff", "", "diff this baseline trace against the trace given as the positional argument, then exit")
+		strict    = flag.Bool("strict", false, "with -report/-report-diff: fail on a torn trailing line instead of dropping it with a warning")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "per-stage worker budget (programs in flight)")
 		mono      = flag.Bool("monolithic", false, "disable the staged engine (no stage overlap or metrics; A/B baseline)")
 		trace     = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver queries, verdicts) to this file")
@@ -56,6 +64,8 @@ func main() {
 		shared    = flag.Bool("shared-cache", false, "share one blast cache per template shape across the campaign (results identical on or off)")
 		matrix    = flag.Bool("matrix", false, "run each campaign as a platform matrix over -platforms (default a53,a72,m0)")
 		platNames = flag.String("platforms", "", "comma-separated platform presets for the matrix (implies -matrix); see -platforms=help")
+		flightDir = flag.String("flight-dir", "", "arm the anomaly flight recorder; bundles (ring + counters + goroutine dump) land under this directory")
+		flightCPU = flag.Duration("flight-cpu", 0, "include a CPU profile slice of this duration in each flight bundle (0 = off)")
 	)
 	flag.Parse()
 
@@ -85,8 +95,17 @@ func main() {
 		fatal(err)
 	}
 
+	if *reportDif != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-report-diff needs exactly one positional argument: the new trace (got %d)", flag.NArg()))
+		}
+		if err := reportDiff(*reportDif, flag.Arg(0), *strict); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *report != "" {
-		if err := analyse(*report); err != nil {
+		if err := analyse(*report, *strict); err != nil {
 			fatal(err)
 		}
 		return
@@ -103,7 +122,8 @@ func main() {
 	}
 
 	// The tracer exists when any telemetry consumer is on: -trace feeds it
-	// a file, -progress and -debug-addr run it in aggregates-only mode.
+	// a file; -progress, -debug-addr, and -flight-dir run it in
+	// aggregates-only mode.
 	var tr *telemetry.Tracer
 	if *trace != "" {
 		var err error
@@ -111,7 +131,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	} else if *progress || *debugAddr != "" {
+	} else if *progress || *debugAddr != "" || *flightDir != "" {
 		tr = telemetry.New(nil)
 	}
 	if tr.Enabled() {
@@ -121,13 +141,23 @@ func main() {
 			}
 		}()
 	}
+	if *flightDir != "" {
+		fr := tr.StartFlightRecorder(telemetry.FlightConfig{
+			Dir:        *flightDir,
+			CPUProfile: *flightCPU,
+		})
+		defer fr.Stop()
+	}
 	if *debugAddr != "" {
 		srv, addr, err := telemetry.ServeDebug(*debugAddr, tr)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "scamv: debug endpoint on http://%s/debug/scamv\n", addr)
+		// Report the actually-bound address (meaningful with :0) and expose
+		// it to the campaign results via the tracer.
+		tr.SetDebugAddr(addr.String())
+		fmt.Fprintf(os.Stderr, "scamv: debug endpoint on http://%s/debug/scamv (live: /debug/scamv/live, metrics: /metrics)\n", addr)
 	}
 	if *progress {
 		stop := telemetry.StartProgress(os.Stderr, tr, time.Second)
@@ -255,21 +285,70 @@ func main() {
 
 // analyse dispatches -report on the file's content: telemetry traces (every
 // record carries a "kind") get the latency report, experiment logs get the
-// campaign aggregates and checklist ratios.
-func analyse(path string) error {
+// campaign aggregates and checklist ratios. A torn trailing line (the writer
+// was killed mid-append) is dropped with a warning, or is fatal under
+// -strict.
+func analyse(path string, strict bool) error {
 	trace, err := isTraceFile(path)
 	if err != nil {
 		return err
 	}
 	if trace {
-		recs, err := telemetry.LoadTrace(path)
+		recs, torn, err := telemetry.LoadTraceTolerant(path)
 		if err != nil {
+			return err
+		}
+		if err := warnTorn(path, torn, strict); err != nil {
 			return err
 		}
 		fmt.Print(analysis.AnalyzeTrace(recs))
 		return nil
 	}
-	return analyseLog(path)
+	return analyseLog(path, strict)
+}
+
+// warnTorn reports torn trailing lines: a stderr warning normally, an error
+// under -strict.
+func warnTorn(path string, torn int, strict bool) error {
+	if torn == 0 {
+		return nil
+	}
+	if strict {
+		return fmt.Errorf("%s: %d torn trailing line(s) (rerun without -strict to drop them)", path, torn)
+	}
+	fmt.Fprintf(os.Stderr, "scamv: warning: %s: %d torn trailing line(s) dropped\n", path, torn)
+	return nil
+}
+
+// reportDiff loads two traces and prints their alignment: per-stage latency
+// deltas, per-program solver-effort regressions, and verdict drift.
+func reportDiff(oldPath, newPath string, strict bool) error {
+	load := func(path string) ([]telemetry.Record, error) {
+		if ok, err := isTraceFile(path); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, fmt.Errorf("%s: not a telemetry trace (-report-diff compares traces, not logs)", path)
+		}
+		recs, torn, err := telemetry.LoadTraceTolerant(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := warnTorn(path, torn, strict); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	}
+	oldRecs, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRecs, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("old: %s\nnew: %s\n", oldPath, newPath)
+	fmt.Print(analysis.DiffTraces(oldRecs, newRecs))
+	return nil
 }
 
 // isTraceFile sniffs the first non-empty line: telemetry records always
@@ -300,9 +379,12 @@ func isTraceFile(path string) (bool, error) {
 
 // analyseLog prints campaign aggregates and, for every unguided/refined pair
 // of the same campaign family, the paper's §A.6.1 checklist ratios.
-func analyseLog(path string) error {
-	recs, err := logdb.Load(path)
+func analyseLog(path string, strict bool) error {
+	recs, torn, err := logdb.LoadTolerant(path)
 	if err != nil {
+		return err
+	}
+	if err := warnTorn(path, torn, strict); err != nil {
 		return err
 	}
 	campaigns := analysis.Aggregate(recs)

@@ -112,6 +112,55 @@ func Load(path string) ([]Record, error) {
 	return Read(f)
 }
 
+// ReadTolerant decodes records like Read but tolerates a torn final line
+// (a crash or kill mid-append): the torn line is dropped and counted instead
+// of failing the whole load, so offline analysis can still see the rest of
+// the log while warning about the truncation. Malformed lines before the
+// final one remain hard errors — those mean corruption, not truncation.
+func ReadTolerant(r io.Reader) (recs []Record, torn int, err error) {
+	var lines [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("logdb: %w", err)
+	}
+	last := -1
+	for i := len(lines) - 1; i >= 0; i-- {
+		if len(lines[i]) > 0 {
+			last = i
+			break
+		}
+	}
+	for i, b := range lines {
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if uerr := json.Unmarshal(b, &rec); uerr != nil {
+			if i == last {
+				torn++
+				break
+			}
+			return nil, 0, fmt.Errorf("logdb: line %d: %w", i+1, uerr)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, torn, nil
+}
+
+// LoadTolerant reads a log file via ReadTolerant.
+func LoadTolerant(path string) ([]Record, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("logdb: %w", err)
+	}
+	defer f.Close()
+	return ReadTolerant(f)
+}
+
 // Read decodes records from a reader.
 func Read(r io.Reader) ([]Record, error) {
 	var out []Record

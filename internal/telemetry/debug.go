@@ -45,6 +45,14 @@ type countersJSON struct {
 	ShapeMisses   int64   `json:"shape_misses,omitempty"`
 
 	Stages []stageJSON `json:"stages,omitempty"`
+
+	// Platforms carries per-platform verdicts of matrix campaigns; Pipeline
+	// the staged engine's live busy/wait/stall; Flight the flight recorder's
+	// ring/watermark status — all omitted when the feature is idle, so
+	// pre-observatory consumers see an unchanged document.
+	Platforms []platformJSON `json:"platforms,omitempty"`
+	Pipeline  []pipelineJSON `json:"pipeline,omitempty"`
+	Flight    *FlightStatus  `json:"flight,omitempty"`
 }
 
 type stageJSON struct {
@@ -54,6 +62,23 @@ type stageJSON struct {
 	P50US  int64  `json:"p50_us"`
 	P95US  int64  `json:"p95_us"`
 	P99US  int64  `json:"p99_us"`
+}
+
+type platformJSON struct {
+	Name            string `json:"name"`
+	Experiments     int64  `json:"experiments"`
+	Counterexamples int64  `json:"counterexamples"`
+	Inconclusive    int64  `json:"inconclusive"`
+}
+
+type pipelineJSON struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	In      int64  `json:"in"`
+	Out     int64  `json:"out"`
+	BusyUS  int64  `json:"busy_us"`
+	WaitUS  int64  `json:"wait_us"`
+	StallUS int64  `json:"stall_us"`
 }
 
 func countersWire(c Counters) countersJSON {
@@ -95,23 +120,61 @@ func countersWire(c Counters) countersJSON {
 			P99US:  s.P99.Microseconds(),
 		})
 	}
+	for _, p := range c.Platforms {
+		out.Platforms = append(out.Platforms, platformJSON{
+			Name:            p.Name,
+			Experiments:     p.Experiments,
+			Counterexamples: p.Counterexamples,
+			Inconclusive:    p.Inconclusive,
+		})
+	}
+	for _, p := range c.Pipeline {
+		out.Pipeline = append(out.Pipeline, pipelineJSON{
+			Name:    p.Name,
+			Workers: p.Workers,
+			In:      p.In,
+			Out:     p.Out,
+			BusyUS:  p.Busy.Microseconds(),
+			WaitUS:  p.Wait.Microseconds(),
+			StallUS: p.Stall.Microseconds(),
+		})
+	}
+	return out
+}
+
+// wireSnapshot builds the full wire document for /debug/scamv and the SSE
+// stream: the counter snapshot plus the flight recorder's status.
+func wireSnapshot(t *Tracer) countersJSON {
+	out := countersWire(t.Snapshot())
+	if fr := t.FlightRecorder(); fr != nil {
+		st := fr.Status()
+		out.Flight = &st
+	}
 	return out
 }
 
 // DebugMux builds the debug endpoint served by -debug-addr on a private
 // mux (no global DefaultServeMux registration, so tests can build many):
 //
-//	/debug/scamv    JSON snapshot of the tracer's live counters
-//	/debug/vars     the process's expvar map (memstats, cmdline)
-//	/debug/pprof/   the standard pprof index, profiles, and traces
+//	/metrics             Prometheus text-format export of the live aggregates
+//	/debug/scamv         JSON snapshot of the tracer's live counters
+//	/debug/scamv/live    self-contained live HTML dashboard (SSE-fed)
+//	/debug/scamv/events  server-sent-events stream of counter snapshots
+//	/debug/scamv/flight  flight-recorder status (GET) / forced capture (POST)
+//	/debug/vars          the process's expvar map (memstats, cmdline)
+//	/debug/pprof/        the standard pprof index, profiles, and traces
 func DebugMux(t *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(t))
 	mux.HandleFunc("/debug/scamv", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(countersWire(t.Snapshot()))
+		_ = enc.Encode(wireSnapshot(t))
 	})
+	mux.HandleFunc("/debug/scamv/live", liveHandler())
+	mux.HandleFunc("/debug/scamv/events", sseHandler(t))
+	mux.HandleFunc("/debug/scamv/flight", flightHandler(t))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

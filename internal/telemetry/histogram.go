@@ -59,6 +59,35 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 
+// NumBuckets is the number of fixed log2 buckets, for consumers exporting
+// the raw bucket counts (the /metrics Prometheus histogram rendering).
+const NumBuckets = histBuckets
+
+// Buckets returns a copy of the per-bucket counts. Bucket 0 holds
+// sub-microsecond observations; bucket i (i > 0) holds [2^(i-1), 2^i) µs;
+// the last bucket additionally absorbs everything past its lower edge.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// BucketUpperUS returns the inclusive upper edge of bucket i in microseconds
+// (durations are truncated to µs before bucketing, so the edge is exact).
+// The last bucket is unbounded and returns -1.
+func BucketUpperUS(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= histBuckets-1:
+		return -1
+	default:
+		return (int64(1) << uint(i)) - 1
+	}
+}
+
 // Sum returns the total observed duration.
 func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sumUS.Load()) * time.Microsecond
@@ -91,6 +120,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i := 0; i < histBuckets; i++ {
 		seen += h.counts[i].Load()
 		if seen >= rank {
+			if i == histBuckets-1 {
+				// The top bucket is unbounded; its finite "edge" would
+				// understate any saturating observation.
+				return h.Max()
+			}
 			var upper int64
 			if i > 0 {
 				upper = (int64(1) << uint(i)) - 1

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	p50, p95, p99 := h.Quantiles()
+	if p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Errorf("empty histogram quantiles = %v/%v/%v, want zeros", p50, p95, p99)
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Error("empty histogram has non-zero aggregates")
+	}
+	for i, n := range h.Buckets() {
+		if n != 0 {
+			t.Fatalf("empty histogram bucket %d = %d", i, n)
+		}
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * time.Microsecond)
+	// Every quantile of a single observation is that observation, clamped to
+	// the recorded max (not the bucket's upper edge 511µs).
+	p50, p95, p99 := h.Quantiles()
+	if p50 != 300*time.Microsecond || p95 != p50 || p99 != p50 {
+		t.Errorf("quantiles = %v/%v/%v, want 300µs each", p50, p95, p99)
+	}
+	if h.Count() != 1 || h.Sum() != 300*time.Microsecond {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramTopBucketSaturation(t *testing.T) {
+	var h Histogram
+	huge := 200 * time.Hour // 7.2e11 µs, past the last finite edge (2^38 µs)
+	h.Observe(huge)
+	h.Observe(2 * huge)
+
+	buckets := h.Buckets()
+	if buckets[NumBuckets-1] != 2 {
+		t.Fatalf("top bucket holds %d, want both saturating observations", buckets[NumBuckets-1])
+	}
+	if BucketUpperUS(NumBuckets-1) != -1 {
+		t.Error("top bucket must be unbounded")
+	}
+	// Quantiles clamp to the observed max rather than reporting an edge.
+	if got := h.Quantile(0.99); got != 2*huge {
+		t.Errorf("p99 = %v, want %v", got, 2*huge)
+	}
+}
+
+func TestHistogramNegativeDuration(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Sum() != 0 || h.Buckets()[0] != 1 {
+		t.Errorf("negative observation: sum=%v bucket0=%d, want clamped to 0 in bucket 0",
+			h.Sum(), h.Buckets()[0])
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if BucketUpperUS(0) != 0 {
+		t.Error("bucket 0 upper edge must be 0µs (sub-microsecond)")
+	}
+	// Edges must be exact: an observation of exactly (2^i - 1)µs lands in
+	// bucket i, and one of 2^i µs lands in bucket i+1.
+	for i := 1; i < 10; i++ {
+		edge := BucketUpperUS(i)
+		if got := bucketOf(time.Duration(edge) * time.Microsecond); got != i {
+			t.Errorf("edge %dµs lands in bucket %d, want %d", edge, got, i)
+		}
+		if got := bucketOf(time.Duration(edge+1) * time.Microsecond); got != i+1 {
+			t.Errorf("%dµs lands in bucket %d, want %d", edge+1, got, i+1)
+		}
+	}
+	if BucketUpperUS(-5) != 0 || BucketUpperUS(NumBuckets+3) != -1 {
+		t.Error("out-of-range bucket indices must clamp")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	// Hammer one histogram from many goroutines; run under -race this
+	// asserts the lock-free Observe/read paths are actually race-free, and
+	// the totals check that no observation is lost.
+	var h Histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(1+(w*perWorker+i)%1000) * time.Microsecond)
+				if i%128 == 0 {
+					h.Quantiles() // concurrent readers
+					h.Buckets()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var sum int64
+	for _, n := range h.Buckets() {
+		sum += n
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*perWorker)
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Errorf("max = %v, want 1ms", h.Max())
+	}
+}

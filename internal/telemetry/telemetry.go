@@ -187,6 +187,80 @@ type Tracer struct {
 	stagesMu sync.RWMutex
 	stages   map[string]*stageAgg
 	order    []*stageAgg // first-seen order
+
+	// Observability plane (no schema impact): the optional flight recorder
+	// ring, the live pipeline-metrics source registered by the staged
+	// engine, and the actually-bound debug address of -debug-addr.
+	fr atomic.Pointer[FlightRecorder]
+
+	pipeMu  sync.Mutex
+	pipeSrc func() []PipelineStage
+
+	addrMu    sync.Mutex
+	debugAddr string
+}
+
+// PipelineStage is one live pipeline-stage snapshot: the staged engine's
+// busy/wait/stall counters surfaced while the campaign runs (Result.Stages
+// only materializes at the end). Wait is input starvation, Stall is output
+// backpressure — the pair that ranks the bottleneck stage live.
+type PipelineStage struct {
+	Name    string
+	Workers int
+	In      int64
+	Out     int64
+	Busy    time.Duration
+	Wait    time.Duration
+	Stall   time.Duration
+}
+
+// SetPipelineSource registers a live per-stage metrics provider (the staged
+// engine's coordinator). The source is called on every Snapshot; it must be
+// safe for concurrent use. A later campaign on the same tracer replaces the
+// source; the last campaign's pipeline stays scrapeable after it finishes.
+func (t *Tracer) SetPipelineSource(fn func() []PipelineStage) {
+	if t == nil {
+		return
+	}
+	t.pipeMu.Lock()
+	t.pipeSrc = fn
+	t.pipeMu.Unlock()
+}
+
+// pipelineSnapshot reads the live pipeline metrics, if a source is set.
+func (t *Tracer) pipelineSnapshot() []PipelineStage {
+	if t == nil {
+		return nil
+	}
+	t.pipeMu.Lock()
+	fn := t.pipeSrc
+	t.pipeMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// SetDebugAddr records the actually-bound address of the -debug-addr
+// endpoint (meaningful with ":0", where the kernel picks the port), so
+// tests and scripts can scrape ephemeral ports via Tracer or Result.
+func (t *Tracer) SetDebugAddr(addr string) {
+	if t == nil {
+		return
+	}
+	t.addrMu.Lock()
+	t.debugAddr = addr
+	t.addrMu.Unlock()
+}
+
+// DebugAddr returns the bound debug-endpoint address ("" when none serves).
+func (t *Tracer) DebugAddr() string {
+	if t == nil {
+		return ""
+	}
+	t.addrMu.Lock()
+	defer t.addrMu.Unlock()
+	return t.debugAddr
 }
 
 // New returns a tracer writing JSONL records to w. A nil w yields an
@@ -221,13 +295,24 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // now returns microseconds since the tracer started.
 func (t *Tracer) now() int64 { return time.Since(t.start).Microseconds() }
 
+// record stamps the schema version on one record, feeds it to the flight
+// recorder's ring (when one is attached), and appends it to the trace file
+// (when one is open). Every event method funnels through here, so the ring
+// sees exactly the records the trace would.
+func (t *Tracer) record(rec *Record) {
+	rec.V = SchemaVersion
+	if fr := t.fr.Load(); fr != nil {
+		fr.add(rec)
+	}
+	t.write(rec)
+}
+
 // write appends one record. Marshalling happens outside the lock; the first
 // write error is kept and reported by Err and Close.
 func (t *Tracer) write(rec *Record) {
 	if t.w == nil {
 		return
 	}
-	rec.V = SchemaVersion
 	b, err := json.Marshal(rec)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -255,7 +340,7 @@ func (t *Tracer) BeginCampaign(name string, programs int) {
 		return
 	}
 	t.totalPrograms.Add(int64(programs))
-	t.write(&Record{Kind: "campaign", TSus: t.now(), Name: name, Programs: programs})
+	t.record(&Record{Kind: "campaign", TSus: t.now(), Name: name, Programs: programs})
 }
 
 // stage returns (creating if needed) the aggregate for a stage name.
@@ -288,7 +373,7 @@ func (t *Tracer) Span(stage string, prog int, start time.Time) {
 	}
 	d := time.Since(start)
 	t.stage(stage).hist.Observe(d)
-	t.write(&Record{Kind: "span", TSus: t.now(), Prog: prog, Stage: stage, DurUS: d.Microseconds()})
+	t.record(&Record{Kind: "span", TSus: t.now(), Prog: prog, Stage: stage, DurUS: d.Microseconds()})
 }
 
 // Query records one solver query with its effort deltas.
@@ -313,7 +398,7 @@ func (t *Tracer) Query(ev QueryEvent) {
 		t.wins[ev.Winner-1]++
 		t.winsMu.Unlock()
 	}
-	t.write(&Record{
+	t.record(&Record{
 		Kind: "query", TSus: t.now(), Prog: ev.Prog,
 		PathA: ev.PathA, PathB: ev.PathB, Class: ev.Class, Slot: ev.Slot,
 		Status: ev.Status, DurUS: ev.Dur.Microseconds(),
@@ -321,6 +406,9 @@ func (t *Tracer) Query(ev QueryEvent) {
 		BlastHits: ev.BlastHits, BlastMisses: ev.BlastMisses, AckReads: ev.AckReads,
 		Winner: ev.Winner, SharedClauses: ev.SharedClauses,
 	})
+	if fr := t.fr.Load(); fr != nil {
+		fr.noteQuery(ev.Dur, &t.queryHist)
+	}
 }
 
 // ShapeLookup records one campaign shape-cache lookup: hit means an earlier
@@ -334,7 +422,7 @@ func (t *Tracer) ShapeLookup(prog int, hit bool) {
 	} else {
 		t.shapeMisses.Add(1)
 	}
-	t.write(&Record{Kind: "shape", TSus: t.now(), Prog: prog, Hit: hit})
+	t.record(&Record{Kind: "shape", TSus: t.now(), Prog: prog, Hit: hit})
 }
 
 // Verdict records one executed test case's classification and execution time.
@@ -349,7 +437,7 @@ func (t *Tracer) Verdict(prog, test int, verdict string, dur time.Duration) {
 	case "inconclusive":
 		t.inconclusive.Add(1)
 	}
-	t.write(&Record{Kind: "verdict", TSus: t.now(), Prog: prog, Test: test,
+	t.record(&Record{Kind: "verdict", TSus: t.now(), Prog: prog, Test: test,
 		Verdict: verdict, DurUS: dur.Microseconds()})
 }
 
@@ -378,7 +466,7 @@ func (t *Tracer) PlatformVerdict(prog, test int, platform, verdict string, dur t
 		pc.Inconclusive++
 	}
 	t.platMu.Unlock()
-	t.write(&Record{Kind: "platform", TSus: t.now(), Prog: prog, Test: test,
+	t.record(&Record{Kind: "platform", TSus: t.now(), Prog: prog, Test: test,
 		Name: platform, Verdict: verdict, DurUS: dur.Microseconds()})
 }
 
@@ -389,7 +477,7 @@ func (t *Tracer) Retry(prog, test, attempt int, reason string) {
 		return
 	}
 	t.retries.Add(1)
-	t.write(&Record{Kind: "retry", TSus: t.now(), Prog: prog, Test: test,
+	t.record(&Record{Kind: "retry", TSus: t.now(), Prog: prog, Test: test,
 		Attempt: attempt, Reason: reason})
 }
 
@@ -399,7 +487,7 @@ func (t *Tracer) Timeout(prog, test, attempt int) {
 		return
 	}
 	t.timeouts.Add(1)
-	t.write(&Record{Kind: "timeout", TSus: t.now(), Prog: prog, Test: test, Attempt: attempt})
+	t.record(&Record{Kind: "timeout", TSus: t.now(), Prog: prog, Test: test, Attempt: attempt})
 }
 
 // Skip records one test case abandoned under FailPolicy Degrade.
@@ -408,7 +496,7 @@ func (t *Tracer) Skip(prog, test int, reason string) {
 		return
 	}
 	t.skips.Add(1)
-	t.write(&Record{Kind: "skip", TSus: t.now(), Prog: prog, Test: test, Reason: reason})
+	t.record(&Record{Kind: "skip", TSus: t.now(), Prog: prog, Test: test, Reason: reason})
 }
 
 // Quarantine records one program being quarantined after consecutive
@@ -418,7 +506,7 @@ func (t *Tracer) Quarantine(prog int, reason string) {
 		return
 	}
 	t.quarantines.Add(1)
-	t.write(&Record{Kind: "quarantine", TSus: t.now(), Prog: prog, Reason: reason})
+	t.record(&Record{Kind: "quarantine", TSus: t.now(), Prog: prog, Reason: reason})
 }
 
 // Breaker records one circuit-breaker state transition; transitions into the
@@ -429,8 +517,11 @@ func (t *Tracer) Breaker(name, from, to string) {
 	}
 	if to == "open" {
 		t.breakerTrips.Add(1)
+		if fr := t.fr.Load(); fr != nil {
+			fr.noteBreaker(name)
+		}
 	}
-	t.write(&Record{Kind: "breaker", TSus: t.now(), Name: name, From: from, To: to})
+	t.record(&Record{Kind: "breaker", TSus: t.now(), Name: name, From: from, To: to})
 }
 
 // ProgramDone bumps the completed-program counter behind the progress line.
@@ -501,6 +592,12 @@ type Counters struct {
 	Platforms []PlatformCount
 
 	Stages []StageCount // first-seen (pipeline) order
+
+	// Pipeline holds the staged engine's live per-stage busy/wait/stall
+	// metrics when a campaign registered a source via SetPipelineSource;
+	// nil for monolithic campaigns and idle tracers. Unlike Stages (span
+	// durations), Pipeline carries starvation and backpressure.
+	Pipeline []PipelineStage
 }
 
 // Snapshot copies the live aggregates. Safe to call while the campaign runs.
@@ -550,6 +647,7 @@ func (t *Tracer) Snapshot() Counters {
 		sc.P50, sc.P95, sc.P99 = a.hist.Quantiles()
 		c.Stages = append(c.Stages, sc)
 	}
+	c.Pipeline = t.pipelineSnapshot()
 	return c
 }
 
@@ -618,6 +716,63 @@ func ReadTrace(r io.Reader) ([]Record, error) {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	return out, nil
+}
+
+// ReadTraceTolerant decodes trace records like ReadTrace but tolerates a
+// torn final line (a crash or kill mid-append): instead of failing, the torn
+// line is dropped and counted, so -report can still analyse the rest of the
+// trace while warning the user. Malformed lines before the final one, kindless
+// records, and newer-schema records remain hard errors — those mean
+// corruption, not truncation.
+func ReadTraceTolerant(r io.Reader) (recs []Record, torn int, err error) {
+	var lines [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("telemetry: %w", err)
+	}
+	last := -1 // index of the last non-empty line
+	for i := len(lines) - 1; i >= 0; i-- {
+		if len(lines[i]) > 0 {
+			last = i
+			break
+		}
+	}
+	for i, b := range lines {
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if uerr := json.Unmarshal(b, &rec); uerr != nil {
+			if i == last {
+				torn++
+				break
+			}
+			return nil, 0, fmt.Errorf("telemetry: line %d: %w", i+1, uerr)
+		}
+		if rec.V > SchemaVersion {
+			return nil, 0, fmt.Errorf("telemetry: line %d: trace schema v%d newer than supported v%d",
+				i+1, rec.V, SchemaVersion)
+		}
+		if rec.Kind == "" {
+			return nil, 0, fmt.Errorf("telemetry: line %d: record without kind", i+1)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, torn, nil
+}
+
+// LoadTraceTolerant reads a trace file via ReadTraceTolerant.
+func LoadTraceTolerant(path string) ([]Record, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	return ReadTraceTolerant(f)
 }
 
 // LoadTrace reads all records from a trace file.

@@ -310,6 +310,11 @@ type Result struct {
 	// (Experiment.Platforms), in platform order; empty for single-platform
 	// campaigns. Row 0 mirrors the top-level counts. See matrix.go.
 	Matrix []PlatformResult
+
+	// DebugAddr is the actually-bound address of the tracer's debug
+	// endpoint ("" when none serves). With -debug-addr=:0 the kernel picks
+	// the port; this is where scripts find it.
+	DebugAddr string
 }
 
 // AvgGen returns the mean generation time per experiment.
@@ -891,6 +896,7 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 		st := e.shapeCache.Stats()
 		res.ShapeHits, res.ShapeMisses = st.Hits, st.Misses
 	}
+	res.DebugAddr = e.Trace.DebugAddr()
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"scamv/internal/arm"
 	"scamv/internal/stage"
+	"scamv/internal/telemetry"
 )
 
 // This file wires the campaign as an explicit staged pipeline over
@@ -124,6 +125,28 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 			return out, nil
 		},
 	}, heavy, buf, genned)
+
+	// Expose the live pipeline to the observatory: the tracer's /metrics
+	// and SSE dashboard read busy/wait/stall through this source while the
+	// campaign runs, and the flight recorder's stall watchdog samples it.
+	// The coordinator's snapshots stay readable after the campaign, so the
+	// last campaign remains scrapeable until the next one re-registers.
+	e.Trace.SetPipelineSource(func() []telemetry.PipelineStage {
+		snaps := c.Snapshots()
+		out := make([]telemetry.PipelineStage, len(snaps))
+		for i, s := range snaps {
+			out[i] = telemetry.PipelineStage{
+				Name:    s.Name,
+				Workers: s.Workers,
+				In:      s.In,
+				Out:     s.Out,
+				Busy:    s.Busy,
+				Wait:    s.Wait,
+				Stall:   s.Stall,
+			}
+		}
+		return out
+	})
 
 	// Collect: merge per-program results — counts, log records, the
 	// first-counterexample index — in strict program order.
