@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke matrix-smoke obs-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench-matrix bench-obs bench
+.PHONY: ci build vet test race chaos-smoke fuzz-smoke portfolio-smoke matrix-smoke obs-smoke crash-smoke bench-gen bench-campaign bench-telemetry bench-portfolio bench-matrix bench-obs bench-resume bench
 
-ci: build vet race portfolio-smoke matrix-smoke obs-smoke bench-gen
+ci: build vet race portfolio-smoke matrix-smoke obs-smoke crash-smoke bench-gen
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,16 @@ obs-smoke:
 	$(GO) test -race -count=1 ./internal/telemetry ./internal/analysis
 	$(GO) test -race -count=1 -run 'TestObservatory' .
 
+# Crash-safety smoke: the journal package under the race detector, plus the
+# root crash suite — resumed-vs-uninterrupted golden equality on both
+# engines (including the Degrade fault-injection profile), fingerprint
+# mismatch rejection, graceful drain, and the subprocess SIGKILL/SIGINT
+# chaos loop that kills a real journaled campaign at escalating offsets and
+# resumes it to byte-identical results.
+crash-smoke:
+	$(GO) test -race -count=1 ./internal/journal
+	$(GO) test -count=1 -run 'TestResume|TestDrain|TestCrash|TestGraceful|TestSecondSignal' .
+
 # Matrix-campaign benchmark: runs the K=3 platform matrix against three
 # sequential single-platform campaigns and writes BENCH_matrix.json (wall
 # clocks, ratio, per-platform verdict rows). Fails if any per-platform count
@@ -101,6 +111,14 @@ bench-telemetry:
 # flake ceiling or if observation changes any campaign count.
 bench-obs:
 	BENCH_OBS=1 $(GO) test -run TestWriteBenchObs -count=1 -v .
+
+# Journal-overhead benchmark: runs the MLine campaign with and without the
+# write-ahead journal (fsync per program completion, periodic atomic
+# checkpoints) and writes BENCH_resume.json. Target is ≤1.05x over plain;
+# fails past the 1.25x flake ceiling or if journaling changes any campaign
+# count.
+bench-resume:
+	BENCH_RESUME=1 $(GO) test -run TestWriteBenchResume -count=1 -v .
 
 # Full paper-table benchmark suite (one iteration each).
 bench:

@@ -19,6 +19,15 @@
 //	scamv -chaos heavy -fail-policy degrade -retries 2 -exec-timeout 100ms
 //	                               # fault-injected campaign that degrades
 //	                               # instead of aborting
+//	scamv -checkpoint state/       # durable journal + periodic checkpoints:
+//	                               # a crash or SIGKILL loses at most the
+//	                               # programs in flight
+//	scamv -resume state/           # reload the journals, skip completed
+//	                               # programs, reproduce the rest exactly
+//
+// A first SIGINT/SIGTERM drains in-flight programs, checkpoints, prints the
+// partial tables, and exits 3 (resumable); a second aborts immediately with
+// exit 130.
 package main
 
 import (
@@ -35,12 +44,20 @@ import (
 	"scamv/internal/analysis"
 	"scamv/internal/faultinject"
 	"scamv/internal/gen"
+	"scamv/internal/journal"
 	"scamv/internal/logdb"
 	"scamv/internal/micro"
 	"scamv/internal/telemetry"
 )
 
 func main() {
+	// The body lives in run so deferred cleanup (log/trace flush, progress
+	// stop, debug server close) happens before the process exits with the
+	// drain status code.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp       = flag.String("exp", "all", "campaign: all, mpart, mpart-pa, mct-a, mct-b, fig7-c, mspec1-b, straight, mtime, pcmodel")
 		scale     = flag.Float64("scale", 0.05, "fraction of the paper-scale program counts to run")
@@ -66,12 +83,22 @@ func main() {
 		platNames = flag.String("platforms", "", "comma-separated platform presets for the matrix (implies -matrix); see -platforms=help")
 		flightDir = flag.String("flight-dir", "", "arm the anomaly flight recorder; bundles (ring + counters + goroutine dump) land under this directory")
 		flightCPU = flag.Duration("flight-cpu", 0, "include a CPU profile slice of this duration in each flight bundle (0 = off)")
+		ckptDir   = flag.String("checkpoint", "", "write a durable campaign journal with periodic atomic checkpoints under this directory (one subdirectory per campaign)")
+		resumeDir = flag.String("resume", "", "resume campaigns from this checkpoint directory, skipping journaled programs (implies -checkpoint DIR)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "programs between automatic checkpoints (0 = default of 8, negative = final checkpoint only)")
 	)
 	flag.Parse()
 
 	if *platNames == "help" {
 		fmt.Println("platform presets:", strings.Join(micro.PresetNames(), ", "))
-		return
+		return 0
+	}
+	resuming := *resumeDir != ""
+	if resuming {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			fatal(fmt.Errorf("-checkpoint %s conflicts with -resume %s (resume implies checkpointing into the same directory)", *ckptDir, *resumeDir))
+		}
+		*ckptDir = *resumeDir
 	}
 	var platforms []scamv.PlatformSpec
 	if *matrix || *platNames != "" {
@@ -102,13 +129,13 @@ func main() {
 		if err := reportDiff(*reportDif, flag.Arg(0), *strict); err != nil {
 			fatal(err)
 		}
-		return
+		return 0
 	}
 	if *report != "" {
 		if err := analyse(*report, *strict); err != nil {
 			fatal(err)
 		}
-		return
+		return 0
 	}
 
 	var db *logdb.DB
@@ -181,6 +208,29 @@ func main() {
 		return preset
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the drain channel —
+	// every campaign finishes its in-flight programs, journals them, writes a
+	// final checkpoint, and returns a partial (resumable) Result; campaigns
+	// not yet started are skipped. A second signal aborts immediately.
+	drain := scamv.ArmShutdown(
+		func() {
+			fmt.Fprintln(os.Stderr, "scamv: interrupt: draining in-flight programs (interrupt again to abort)")
+		},
+		func() {
+			fmt.Fprintln(os.Stderr, "scamv: aborted")
+			os.Exit(130)
+		},
+	)
+	stopping := func() bool {
+		select {
+		case <-drain:
+			return true
+		default:
+			return false
+		}
+	}
+	interrupted := false
+
 	// Resilience knobs apply uniformly; a chaos profile wraps each
 	// experiment's platform in a fresh fault injector seeded from -seed, so
 	// the fault schedule reproduces with the rest of the campaign.
@@ -191,12 +241,40 @@ func main() {
 		e.Portfolio = *portfolio
 		e.SharedCache = *shared
 		e.Platforms = platforms
+		e.Drain = drain
 		if chaosProf.Name != "off" {
 			e.Platform = faultinject.New(e.Platform, chaosProf, *seed)
 		}
 	}
 
+	// runArmed runs one campaign with its journal armed (when -checkpoint or
+	// -resume is set): each campaign gets its own subdirectory keyed by the
+	// experiment name, opened fresh or resumed, and closed after the run.
+	runArmed := func(e scamv.Experiment) (*scamv.Result, error) {
+		if *ckptDir != "" {
+			j, err := journal.Open(*ckptDir, e.Name, journal.Options{Resume: resuming, Every: *ckptEvery})
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				if cerr := j.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "scamv:", cerr)
+				}
+			}()
+			e.Journal = j
+		}
+		r, err := scamv.Run(e)
+		if err == nil && r.Drained {
+			interrupted = true
+		}
+		return r, err
+	}
+
 	runPair := func(title string, unguided, refined scamv.Experiment) {
+		if stopping() {
+			interrupted = true
+			return
+		}
 		unguided.Log, refined.Log = db, db
 		unguided.Parallel, refined.Parallel = *parallel, *parallel
 		unguided.Monolithic, refined.Monolithic = *mono, *mono
@@ -204,24 +282,33 @@ func main() {
 		applyResilience(&unguided)
 		applyResilience(&refined)
 		fmt.Printf("== %s ==\n", title)
-		ru, err := scamv.Run(unguided)
+		ru, err := runArmed(unguided)
 		if err != nil {
 			fatal(err)
 		}
-		rr, err := scamv.Run(refined)
+		if stopping() {
+			interrupted = true
+			fmt.Println(scamv.FormatTable(ru))
+			return
+		}
+		rr, err := runArmed(refined)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(scamv.FormatTable(ru, rr))
 	}
 	runOne := func(title string, e scamv.Experiment) {
+		if stopping() {
+			interrupted = true
+			return
+		}
 		e.Log = db
 		e.Parallel = *parallel
 		e.Monolithic = *mono
 		e.Trace = tr
 		applyResilience(&e)
 		fmt.Printf("== %s ==\n", title)
-		r, err := scamv.Run(e)
+		r, err := runArmed(e)
 		if err != nil {
 			fatal(err)
 		}
@@ -281,6 +368,15 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+	if interrupted {
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "scamv: interrupted; campaign state checkpointed, resumable with -resume %s\n", *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "scamv: interrupted; partial results above (run with -checkpoint DIR to make interrupts resumable)")
+		}
+		return 3
+	}
+	return 0
 }
 
 // analyse dispatches -report on the file's content: telemetry traces (every

@@ -293,6 +293,13 @@ type Generator struct {
 	QueriesSat    int
 	QueriesUnsat  int
 	QueriesFailed int
+
+	// ShapeKeys records the campaign shape-cache key hash of every lookup
+	// this generator performed, in lookup order (pair-state creation is
+	// single-threaded per program, so the order is deterministic). The
+	// campaign journal persists the list for crash-safe resume accounting;
+	// empty when no ShapeCache is configured.
+	ShapeKeys []uint64
 }
 
 // NewGenerator prepares test-case generation over the symbolic paths of an
@@ -390,7 +397,9 @@ func (g *Generator) newPairState(pk pairKey) *pairState {
 	var s *smt.Solver
 	if g.cfg.ShapeCache != nil {
 		var hit bool
-		s, hit = g.cfg.ShapeCache.Instantiate(opts, g.prefixFormulas(pk.a, pk.b, pk.slot))
+		var kh uint64
+		s, hit, kh = g.cfg.ShapeCache.InstantiateTagged(opts, g.prefixFormulas(pk.a, pk.b, pk.slot))
+		g.ShapeKeys = append(g.ShapeKeys, kh)
 		g.cfg.Trace.ShapeLookup(g.cfg.Prog, hit)
 		if g.cfg.Ctx != nil {
 			s.SetContext(g.cfg.Ctx)

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+	"syscall"
 )
 
 // Record describes one executed experiment.
@@ -35,18 +37,44 @@ type Record struct {
 	Diff []string `json:"diff,omitempty"`
 }
 
+// Syncer is the optional durability hook of a DB's underlying writer: a
+// writer that also implements Syncer (an *os.File does) gains real fsync
+// through Commit and SyncAppend. Plain writers (a bytes.Buffer in tests)
+// degrade to flush-only commits.
+type Syncer interface {
+	Sync() error
+}
+
 // DB appends records to an underlying writer, one JSON object per line.
 // It is safe for concurrent use.
+//
+// Write errors are sticky: once any append or flush fails, every subsequent
+// Append/SyncAppend/Commit returns the original error instead of silently
+// continuing. Without the latch, a failed flush could leave a partial line
+// in the file and a later successful append would splice its record onto
+// the torn tail — corrupting the line in a way the tolerant reader cannot
+// distinguish from a clean crash. With it, the file ends at the torn line,
+// which is exactly the shape ReadTolerant is specified to recover from.
 type DB struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
+	sync   Syncer // non-nil when the underlying writer supports fsync
 	closer io.Closer
 	n      int
+	werr   error // first write error, sticky
 }
 
-// NewWriter wraps an arbitrary writer (e.g. a bytes.Buffer in tests).
+// NewWriter wraps an arbitrary writer (e.g. a bytes.Buffer in tests). A
+// writer implementing Syncer makes Commit and SyncAppend durable.
 func NewWriter(w io.Writer) *DB {
-	return &DB{w: bufio.NewWriter(w)}
+	d := &DB{w: bufio.NewWriter(w)}
+	if s, ok := w.(Syncer); ok {
+		d.sync = s
+	}
+	if c, ok := w.(io.Closer); ok {
+		d.closer = c
+	}
+	return d
 }
 
 // Open creates (or truncates) a log file.
@@ -55,25 +83,79 @@ func Open(path string) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("logdb: %w", err)
 	}
-	return &DB{w: bufio.NewWriter(f), closer: f}, nil
+	return &DB{w: bufio.NewWriter(f), sync: f, closer: f}, nil
 }
 
 // Append writes one record.
 func (d *DB) Append(r Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.appendLocked(r)
+}
+
+func (d *DB) appendLocked(r Record) error {
+	if d.werr != nil {
+		return d.werr
+	}
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("logdb: %w", err)
 	}
 	if _, err := d.w.Write(b); err != nil {
-		return fmt.Errorf("logdb: %w", err)
+		d.werr = fmt.Errorf("logdb: %w", err)
+		return d.werr
 	}
 	if err := d.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("logdb: %w", err)
+		d.werr = fmt.Errorf("logdb: %w", err)
+		return d.werr
 	}
 	d.n++
 	return nil
+}
+
+// Commit flushes buffered records to the underlying writer and, when it
+// supports Syncer, fsyncs them to stable storage. A commit failure latches
+// the sticky write error.
+func (d *DB) Commit() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.commitLocked()
+}
+
+func (d *DB) commitLocked() error {
+	if d.werr != nil {
+		return d.werr
+	}
+	if err := d.w.Flush(); err != nil {
+		d.werr = fmt.Errorf("logdb: flush: %w", err)
+		return d.werr
+	}
+	if d.sync != nil {
+		if err := d.sync.Sync(); err != nil {
+			d.werr = fmt.Errorf("logdb: sync: %w", err)
+			return d.werr
+		}
+	}
+	return nil
+}
+
+// SyncAppend appends one record and commits it durably in a single critical
+// section: when it returns nil, the record's line is flushed and (for
+// Syncer-backed writers) fsynced. The write-ahead unit of internal/journal.
+func (d *DB) SyncAppend(r Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.appendLocked(r); err != nil {
+		return err
+	}
+	return d.commitLocked()
+}
+
+// Err returns the sticky write error, if any.
+func (d *DB) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.werr
 }
 
 // Len returns the number of appended records.
@@ -84,22 +166,80 @@ func (d *DB) Len() int {
 }
 
 // Close flushes and closes the underlying file, if any. The file is closed
-// even when the flush fails, and both errors are propagated: a close error
-// after a clean flush can still mean the kernel failed to persist buffered
-// writes, so swallowing either would hide a truncated log.
+// even when the flush fails, and both errors are propagated along with any
+// earlier sticky write error: a close error after a clean flush can still
+// mean the kernel failed to persist buffered writes, so swallowing either
+// would hide a truncated log.
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var ferr, cerr error
-	if err := d.w.Flush(); err != nil {
-		ferr = fmt.Errorf("logdb: flush: %w", err)
+	if d.werr == nil {
+		if err := d.w.Flush(); err != nil {
+			ferr = fmt.Errorf("logdb: flush: %w", err)
+		}
 	}
 	if d.closer != nil {
 		if err := d.closer.Close(); err != nil {
 			cerr = fmt.Errorf("logdb: close: %w", err)
 		}
 	}
-	return errors.Join(ferr, cerr)
+	return errors.Join(d.werr, ferr, cerr)
+}
+
+// AtomicWriteFile writes data to path with crash atomicity: the bytes land
+// in a temporary file in path's directory, are fsynced, and the temp file is
+// renamed over path, followed by an fsync of the directory so the rename
+// itself is durable. A reader (or a crash recovery) therefore sees either
+// the complete old content or the complete new content, never a torn mix —
+// the write-temp+fsync+rename contract internal/journal's checkpoints and
+// the future scamv-d result uploads build on.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return fmt.Errorf("logdb: atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("logdb: atomic write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("logdb: atomic write: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("logdb: atomic write: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Filesystems that cannot sync directories (some network mounts) report
+// EINVAL; that is the platform's ceiling, not a caller bug, so it is not
+// treated as an error.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("logdb: sync dir: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("logdb: sync dir: %w", err)
+	}
+	return nil
 }
 
 // Load reads all records from a log file.

@@ -99,6 +99,13 @@ type ShapeCacheStats struct {
 type ShapeCache struct {
 	mu      sync.Mutex
 	entries map[string]*shapeEntry
+	// known holds key hashes journaled by a resumed campaign's completed
+	// programs: their prototypes were already paid for before the restart,
+	// so a live lookup of a known key counts as a hit even while the
+	// prototype is silently rebuilt. That keeps a resumed campaign's
+	// hit/miss totals equal to an uninterrupted run's — the resume
+	// determinism contract of internal/journal. Nil outside resume.
+	known map[uint64]bool
 
 	hits, misses atomic.Int64
 }
@@ -134,7 +141,45 @@ func (sc *ShapeCache) Stats() ShapeCacheStats {
 // portfolio size) vary between instantiations; they do not enter the cache
 // key because they configure the search, not the CNF.
 func (sc *ShapeCache) Instantiate(opts Options, formulas []expr.BoolExpr) (*Solver, bool) {
+	s, hit, _ := sc.InstantiateTagged(opts, formulas)
+	return s, hit
+}
+
+// KeyHash is the stable 64-bit identity of a canonical shape key, the unit
+// of the journal's per-program shape-key lists (the full key strings are
+// large; the hash is what crosses the durability boundary).
+func KeyHash(key string) uint64 {
+	// FNV-1a, inlined to keep the hot path allocation-free.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// MarkKnown registers shape-key hashes restored from a campaign journal:
+// lookups of these keys count as hits from now on (see the known field).
+func (sc *ShapeCache) MarkKnown(keys []uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.known == nil {
+		sc.known = make(map[uint64]bool, len(keys))
+	}
+	for _, k := range keys {
+		sc.known[k] = true
+	}
+}
+
+// InstantiateTagged is Instantiate plus the shape-key hash of the lookup,
+// which campaign engines journal for resume accounting.
+func (sc *ShapeCache) InstantiateTagged(opts Options, formulas []expr.BoolExpr) (*Solver, bool, uint64) {
 	key, renamed, names := expr.CanonShape(formulas)
+	kh := KeyHash(key)
 
 	sc.mu.Lock()
 	e := sc.entries[key]
@@ -142,6 +187,7 @@ func (sc *ShapeCache) Instantiate(opts Options, formulas []expr.BoolExpr) (*Solv
 		e = &shapeEntry{}
 		sc.entries[key] = e
 	}
+	known := sc.known[kh]
 	sc.mu.Unlock()
 
 	e.mu.Lock()
@@ -159,13 +205,17 @@ func (sc *ShapeCache) Instantiate(opts Options, formulas []expr.BoolExpr) (*Solv
 		e.built = true
 	}
 	e.mu.Unlock()
-	if hit {
+	// A lookup of a journal-known key is a hit even when the prototype had
+	// to be rebuilt in this process: the uninterrupted campaign would have
+	// hit here, and resume accounting must agree with it.
+	counted := hit || known
+	if counted {
 		sc.hits.Add(1)
 	} else {
 		sc.misses.Add(1)
 	}
 
-	return sc.instantiate(e.proto, opts, names), hit
+	return sc.instantiate(e.proto, opts, names), counted, kh
 }
 
 // instantiate clones the prototype under the requested search options.

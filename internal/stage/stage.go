@@ -68,6 +68,13 @@ type Item[T any] struct {
 // the failure cutoff; its payload was never computed.
 var ErrSkipped = errors.New("stage: skipped past failure cutoff")
 
+// ErrStop, returned by a Source generator, ends production cleanly: no
+// further items are generated, no failure is recorded, and everything
+// already in flight drains through the pipeline to the collector. It is the
+// graceful-shutdown seam — distinct from Coord.Cancel, which tears down
+// in-flight work instead of draining it.
+var ErrStop = errors.New("stage: source stopped")
+
 // PanicError wraps a panic recovered from a stage body. The pipeline treats
 // it like any other processing error — the item fails, the failure cutoff
 // protocol applies — instead of letting one pathological program (a lifter
@@ -233,6 +240,9 @@ func Source[T any](c *Coord, name string, buf, n int, gen func(ctx context.Conte
 			v, err := runItem(c.ctx, name, i, gen)
 			m.busyNS.Add(time.Since(t0).Nanoseconds())
 			it := Item[T]{Index: i, Val: v}
+			if errors.Is(err, ErrStop) {
+				return
+			}
 			if err != nil {
 				c.Fail(i, err)
 				m.failed.Add(1)

@@ -44,6 +44,9 @@ type countersJSON struct {
 	ShapeHits     int64   `json:"shape_hits,omitempty"`
 	ShapeMisses   int64   `json:"shape_misses,omitempty"`
 
+	ResumedPrograms int64 `json:"resumed_programs,omitempty"`
+	Checkpoints     int64 `json:"checkpoints,omitempty"`
+
 	Stages []stageJSON `json:"stages,omitempty"`
 
 	// Platforms carries per-platform verdicts of matrix campaigns; Pipeline
@@ -109,6 +112,8 @@ func countersWire(c Counters) countersJSON {
 		PortfolioWins:   c.PortfolioWins,
 		ShapeHits:       c.ShapeHits,
 		ShapeMisses:     c.ShapeMisses,
+		ResumedPrograms: c.ResumedPrograms,
+		Checkpoints:     c.Checkpoints,
 	}
 	for _, s := range c.Stages {
 		out.Stages = append(out.Stages, stageJSON{

@@ -79,6 +79,11 @@ func (t *Tracer) WriteMetrics(w io.Writer) {
 	m.family("scamv_shared_clauses_total", "counter", "Learnt clauses imported from the portfolio share pool.")
 	m.sample("scamv_shared_clauses_total", nil, ival(c.SharedClauses))
 
+	m.family("scamv_resumed_programs_total", "counter", "Programs restored from campaign journals instead of re-run.")
+	m.sample("scamv_resumed_programs_total", nil, ival(c.ResumedPrograms))
+	m.family("scamv_checkpoints_total", "counter", "Durable campaign checkpoints written.")
+	m.sample("scamv_checkpoints_total", nil, ival(c.Checkpoints))
+
 	if len(c.PortfolioWins) > 0 {
 		m.family("scamv_portfolio_wins_total", "counter", "Deciding queries per portfolio worker.")
 		for i, wins := range c.PortfolioWins {

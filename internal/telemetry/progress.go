@@ -19,6 +19,10 @@ import (
 func RenderProgress(cur, prev Counters, dt time.Duration) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "progs %d/%d", cur.Programs, cur.TotalPrograms)
+	// Crash-safety counters appear only for resumed/checkpointed campaigns.
+	if cur.ResumedPrograms > 0 {
+		fmt.Fprintf(&sb, " (%d resumed)", cur.ResumedPrograms)
+	}
 	fmt.Fprintf(&sb, "  exps %d", cur.Experiments)
 	fmt.Fprintf(&sb, "  cex %d", cur.Counterexamples)
 	if cur.Inconclusive > 0 {
@@ -45,6 +49,9 @@ func RenderProgress(cur, prev Counters, dt time.Duration) string {
 	}
 	if cur.BreakerTrips > 0 {
 		fmt.Fprintf(&sb, "  breaker-trips %d", cur.BreakerTrips)
+	}
+	if cur.Checkpoints > 0 {
+		fmt.Fprintf(&sb, "  ckpts %d", cur.Checkpoints)
 	}
 	// Portfolio/shape-cache counters appear only when those features run.
 	if cur.ShapeHits+cur.ShapeMisses > 0 {

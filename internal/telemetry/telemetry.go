@@ -42,8 +42,11 @@ import (
 // campaign shape-cache lookups; v1 and v2 traces remain loadable. Version 4
 // adds the "platform" kind: one record per (platform, test) of a matrix
 // campaign, carrying the platform name in Name alongside the verdict fields.
-// Readers reject records from a newer schema.
-const SchemaVersion = 4
+// Version 5 adds the crash-safety kinds "resume" (a campaign restored a
+// journaled prefix: Name, Programs = restored count) and "checkpoint" (a
+// durable checkpoint was written: Programs = programs covered). Readers
+// reject records from a newer schema.
+const SchemaVersion = 5
 
 // Record is one JSONL trace line. One flat struct serves all kinds; fields
 // not meaningful for a kind are zero and omitted from the encoding (their
@@ -68,6 +71,10 @@ const SchemaVersion = 4
 //	breaker   one circuit-breaker transition: Name, From, To
 //	platform  one platform's verdict for one test of a matrix campaign:
 //	          Name (platform), Prog, Test, Verdict, DurUS
+//	resume    a campaign restored a journaled prefix on startup: Name
+//	          (campaign), Programs (restored program count)
+//	checkpoint a durable campaign checkpoint was written: Programs
+//	          (programs covered by the checkpoint)
 type Record struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"`
@@ -177,8 +184,12 @@ type Tracer struct {
 	sharedClauses atomic.Int64
 	shapeHits     atomic.Int64
 	shapeMisses   atomic.Int64
-	winsMu        sync.Mutex
-	wins          []int64 // index = winner-1, grown on demand
+
+	// Crash-safety counters (schema v5).
+	resumedPrograms atomic.Int64
+	checkpoints     atomic.Int64
+	winsMu          sync.Mutex
+	wins            []int64 // index = winner-1, grown on demand
 
 	// Per-platform verdict aggregates of a matrix campaign (schema v4).
 	platMu    sync.Mutex
@@ -524,6 +535,29 @@ func (t *Tracer) Breaker(name, from, to string) {
 	t.record(&Record{Kind: "breaker", TSus: t.now(), Name: name, From: from, To: to})
 }
 
+// Resume records a campaign restoring a journaled prefix of programs
+// completed before a restart. The restored count feeds both the resumed
+// counter and the completed-programs counter, so the progress line starts at
+// N/P instead of replaying from zero.
+func (t *Tracer) Resume(name string, programs int) {
+	if t == nil {
+		return
+	}
+	t.resumedPrograms.Add(int64(programs))
+	t.programs.Add(int64(programs))
+	t.record(&Record{Kind: "resume", TSus: t.now(), Name: name, Programs: programs})
+}
+
+// Checkpoint records one durable campaign checkpoint covering the first
+// programs completed programs.
+func (t *Tracer) Checkpoint(programs int) {
+	if t == nil {
+		return
+	}
+	t.checkpoints.Add(1)
+	t.record(&Record{Kind: "checkpoint", TSus: t.now(), Programs: programs})
+}
+
 // ProgramDone bumps the completed-program counter behind the progress line.
 func (t *Tracer) ProgramDone() {
 	if t == nil {
@@ -587,6 +621,11 @@ type Counters struct {
 	ShapeHits     int64
 	ShapeMisses   int64
 
+	// ResumedPrograms counts programs restored from campaign journals
+	// (included in Programs); Checkpoints counts durable checkpoints written.
+	ResumedPrograms int64
+	Checkpoints     int64
+
 	// Platforms holds per-platform verdict aggregates of matrix campaigns,
 	// sorted by platform name; empty for single-platform campaigns.
 	Platforms []PlatformCount
@@ -628,6 +667,8 @@ func (t *Tracer) Snapshot() Counters {
 		SharedClauses:   t.sharedClauses.Load(),
 		ShapeHits:       t.shapeHits.Load(),
 		ShapeMisses:     t.shapeMisses.Load(),
+		ResumedPrograms: t.resumedPrograms.Load(),
+		Checkpoints:     t.checkpoints.Load(),
 	}
 	t.winsMu.Lock()
 	c.PortfolioWins = append([]int64(nil), t.wins...)

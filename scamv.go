@@ -31,6 +31,7 @@ import (
 	"scamv/internal/bir"
 	"scamv/internal/core"
 	"scamv/internal/gen"
+	"scamv/internal/journal"
 	"scamv/internal/lifter"
 	"scamv/internal/logdb"
 	"scamv/internal/micro"
@@ -163,6 +164,37 @@ type Experiment struct {
 	// QuarantineAfter is the number of consecutive failed test cases after
 	// which a program is quarantined under Degrade (default 3).
 	QuarantineAfter int
+
+	// Journal, when non-nil, is the campaign's crash-safety spine: every
+	// completed program is appended to a durable write-ahead journal as the
+	// in-order merge step commits it, with periodic atomic checkpoints, and
+	// a journal opened with Resume makes RunContext skip the restored
+	// prefix and reproduce the remainder deterministically — the Result is
+	// byte-identical (modulo wall-clock fields) to an uninterrupted run.
+	// The caller owns the journal's lifecycle (Open before Run, Close
+	// after); RunContext calls Begin, Append, and the final Checkpoint.
+	// See internal/journal and DESIGN.md §15.
+	Journal *journal.Campaign
+
+	// Drain, when non-nil, is the graceful-shutdown seam: closing the
+	// channel stops the engines from starting new programs while everything
+	// in flight completes and merges (and journals, when armed). The
+	// campaign then returns a partial Result with Drained set — resumable,
+	// not failed. Distinct from context cancellation, which aborts in-flight
+	// work. ArmShutdown wires SIGINT/SIGTERM to a drain channel.
+	Drain <-chan struct{}
+
+	// restoredN is the length of the journal-restored prefix: the engines
+	// process programs [restoredN, Programs) and fast-forward every
+	// sequential seed stream across the skipped prefix. Set by RunContext.
+	restoredN int
+
+	// restoredShapeHits/Misses are the shape-cache lookup totals replayed
+	// from the restored programs' journaled key lists; added to the live
+	// cache's stats at harvest so resumed totals equal an uninterrupted
+	// run's.
+	restoredShapeHits   int64
+	restoredShapeMisses int64
 
 	// Parallel is the number of programs processed concurrently (<= 1
 	// means sequential). Counts are deterministic regardless of the
@@ -305,6 +337,22 @@ type Result struct {
 	// encoded; both deterministic per seed). Zero when the cache is off.
 	ShapeHits   int64
 	ShapeMisses int64
+
+	// RestoredPrograms counts the programs restored from a resumed
+	// campaign journal rather than executed in this process; they are
+	// included in Programs and every other aggregate. Zero without -resume.
+	RestoredPrograms int
+
+	// Drained reports that the campaign stopped early at a graceful
+	// shutdown request (Experiment.Drain): the counts cover a prefix of the
+	// campaign, and with a journal armed the rest is resumable. A drained
+	// campaign returns a Result and a nil error — partial data is data.
+	Drained bool
+
+	// Checkpoints counts the atomic checkpoint snapshots written by the
+	// campaign journal (periodic plus the final one). Zero without
+	// -checkpoint.
+	Checkpoints int
 
 	// Matrix holds one soundness row per platform of a matrix campaign
 	// (Experiment.Platforms), in platform order; empty for single-platform
@@ -524,6 +572,10 @@ type programResult struct {
 	// platforms is the per-platform tally of a matrix campaign, one entry
 	// per Experiment.Platforms spec; nil otherwise. See matrix.go.
 	platforms []platformTally
+
+	// shapeKeys are the program's shape-cache lookups (key hashes in lookup
+	// order), journaled for resume accounting. See core.Generator.ShapeKeys.
+	shapeKeys []uint64
 }
 
 func wordsEqual(a, b []uint32) bool {
@@ -584,10 +636,11 @@ func encodeRoundTrip(prog *arm.Program) (_ *arm.Program, fallback bool) {
 // genOut is the TestGen stage's product for one program: the generated test
 // cases with their per-test generation times and the solver query count.
 type genOut struct {
-	tests   []*core.TestCase
-	durs    []time.Duration
-	genTime time.Duration
-	queries int
+	tests     []*core.TestCase
+	durs      []time.Duration
+	genTime   time.Duration
+	queries   int
+	shapeKeys []uint64
 }
 
 // generateTests is the TestGen stage body: it drives the refinement-guided
@@ -610,6 +663,7 @@ func generateTests(ctx context.Context, e *Experiment, pl *Pipeline, p int) genO
 		out.durs = append(out.durs, d)
 	}
 	out.queries = g.QueriesSat + g.QueriesUnsat + g.QueriesFailed
+	out.shapeKeys = g.ShapeKeys
 	e.Trace.Span("testgen", p, spanStart)
 	return out
 }
@@ -627,7 +681,7 @@ func generateTests(ctx context.Context, e *Experiment, pl *Pipeline, p int) genO
 // Batching lives here in the shared stage body, so the staged and monolithic
 // engines batch identically.
 func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g genOut, start time.Time) (*programResult, error) {
-	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1}
+	out := &programResult{genTime: g.genTime, queries: g.queries, firstCETest: -1, shapeKeys: g.shapeKeys}
 	matrix := e.matrixExps
 	if len(matrix) > 0 {
 		out.platforms = make([]platformTally, len(matrix))
@@ -700,8 +754,11 @@ func executeProgram(ctx context.Context, e *Experiment, pl *Pipeline, p int, g g
 		case Inconclusive:
 			out.inconclusive++
 		}
+		// Log records are built when either consumer exists: the experiment
+		// log appends them now, and the journal carries them durably so a
+		// resumed campaign can replay them into a log opened only later.
 		logRecord := func(platform string, v Verdict, d time.Duration) {
-			if e.Log == nil {
+			if e.Log == nil && e.Journal == nil {
 				return
 			}
 			out.records = append(out.records, logdb.Record{
@@ -831,7 +888,32 @@ func (res *Result) mergeProgram(e *Experiment, p int, out *programResult) error 
 			}
 		}
 	}
+	// Journal the program as it commits: mergeProgram is the in-order merge
+	// point of both engines, so appends arrive in strict program order — the
+	// contiguity internal/journal enforces. Restored programs (p < restoredN)
+	// were journaled before the restart and are only replayed here.
+	if e.Journal != nil && p >= e.restoredN {
+		ckpt, err := e.Journal.Append(toJournalRecord(p, out))
+		if err != nil {
+			return err
+		}
+		if ckpt {
+			e.Trace.Checkpoint(p + 1)
+		}
+	}
 	return nil
+}
+
+// drainRequested reports whether the graceful-shutdown channel has closed.
+// A nil Drain never drains: receiving from a nil channel blocks forever, so
+// the default branch always fires.
+func (e *Experiment) drainRequested() bool {
+	select {
+	case <-e.Drain:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run executes a full experiment campaign on the staged engine (see
@@ -877,6 +959,47 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 			FirstCETest:    -1,
 		})
 	}
+	if e.Journal != nil {
+		if err := e.Journal.Begin(e.Name, journalFingerprint(&e)); err != nil {
+			return nil, err
+		}
+		restored := e.Journal.Restored()
+		if len(restored) > e.Programs {
+			return nil, fmt.Errorf("scamv: journal restored %d programs but the campaign runs only %d", len(restored), e.Programs)
+		}
+		// Merge the restored prefix through the same in-order merge step the
+		// engines use, replaying shape-cache accounting from the journaled
+		// key lists (first occurrence = the miss the uninterrupted run paid;
+		// everything later = hit), and teach the live cache the keys so its
+		// rebuilt prototypes still count as hits.
+		var keys []uint64
+		seen := make(map[uint64]bool)
+		e.restoredN = len(restored) // before the merges: it gates re-journaling
+		for _, jr := range restored {
+			out := fromJournalRecord(jr)
+			if e.shapeCache != nil {
+				for _, kh := range out.shapeKeys {
+					if seen[kh] {
+						e.restoredShapeHits++
+					} else {
+						seen[kh] = true
+						e.restoredShapeMisses++
+					}
+					keys = append(keys, kh)
+				}
+			}
+			if err := res.mergeProgram(&e, jr.Prog, out); err != nil {
+				return nil, err
+			}
+		}
+		res.RestoredPrograms = e.restoredN
+		if e.restoredN > 0 {
+			e.Trace.Resume(e.Name, e.restoredN)
+			if e.shapeCache != nil {
+				e.shapeCache.MarkKnown(keys)
+			}
+		}
+	}
 	start := time.Now()
 	var err error
 	if e.Monolithic {
@@ -887,6 +1010,16 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.Drain != nil && e.drainRequested() && res.Programs < e.Programs {
+		res.Drained = true
+	}
+	if e.Journal != nil {
+		if err := e.Journal.Checkpoint(); err != nil {
+			return nil, err
+		}
+		res.Checkpoints = e.Journal.Checkpoints()
+		e.Trace.Checkpoint(res.Programs)
+	}
 	// Harvest breaker trips from pooled platforms (MultiPlatform, or any
 	// custom platform exposing the same counter).
 	if bt, ok := e.Platform.(interface{ BreakerTrips() uint64 }); ok {
@@ -894,7 +1027,8 @@ func RunContext(ctx context.Context, cfg Experiment) (*Result, error) {
 	}
 	if e.shapeCache != nil {
 		st := e.shapeCache.Stats()
-		res.ShapeHits, res.ShapeMisses = st.Hits, st.Misses
+		res.ShapeHits = st.Hits + e.restoredShapeHits
+		res.ShapeMisses = st.Misses + e.restoredShapeMisses
 	}
 	res.DebugAddr = e.Trace.DebugAddr()
 	return res, nil
@@ -908,24 +1042,34 @@ func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.T
 	progs := make([]*arm.Program, e.Programs)
 	for p := range progs {
 		t0 := time.Now()
+		// On resume the restored prefix is still generated — the template RNG
+		// is one sequential stream, so programs [restoredN, Programs) only
+		// come out right if the draws for [0, restoredN) happen first — but
+		// its spans are not traced (the work is a fast-forward, not a stage).
 		progs[p] = e.Template.Generate(progRng, p)
-		e.Trace.Span("proggen", p, t0)
+		if p >= e.restoredN {
+			e.Trace.Span("proggen", p, t0)
+		}
 	}
 
 	outs := make([]*programResult, e.Programs)
+	live := e.Programs - e.restoredN
 	workers := e.Parallel
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > e.Programs {
-		workers = e.Programs
+	if workers > live {
+		workers = live
 	}
 	if workers <= 1 {
-		for p, prog := range progs {
+		for p := e.restoredN; p < len(progs); p++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			out, err := runProgram(ctx, e, prog, p, start)
+			if e.drainRequested() {
+				break
+			}
+			out, err := runProgram(ctx, e, progs[p], p, start)
 			if err != nil {
 				return err
 			}
@@ -965,8 +1109,11 @@ func runMonolithic(ctx context.Context, e *Experiment, res *Result, start time.T
 				}
 			}()
 		}
-		for p := range progs {
-			if int64(p) > stopAt.Load() || ctx.Err() != nil {
+		// Drain stops the handout, not the workers: every index already sent
+		// completes and merges, and since indexes go out in order the merged
+		// prefix stays contiguous — exactly what the journal needs to resume.
+		for p := e.restoredN; p < len(progs); p++ {
+			if int64(p) > stopAt.Load() || ctx.Err() != nil || e.drainRequested() {
 				break
 			}
 			idxCh <- p

@@ -68,10 +68,25 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 	defer c.Cancel()
 
 	// ProgramGen: single sequential producer owning the template RNG, so
-	// the program sequence is identical to the monolithic engine's.
+	// the program sequence is identical to the monolithic engine's. On
+	// resume, the journal-restored prefix is fast-forwarded here — the RNG
+	// is one sequential stream, so programs [restoredN, Programs) only come
+	// out right after the draws for [0, restoredN) — and the Source then
+	// emits item indices 0..live-1 carrying true program index restoredN+i
+	// in the payload (item indices must stay dense for the reorder buffer).
 	progRng := rand.New(rand.NewSource(e.Seed))
-	progs := stage.Source(c, "proggen", buf, e.Programs,
-		func(_ context.Context, p int) (stageProg, error) {
+	for p := 0; p < e.restoredN; p++ {
+		e.Template.Generate(progRng, p)
+	}
+	live := e.Programs - e.restoredN
+	progs := stage.Source(c, "proggen", buf, live,
+		func(_ context.Context, i int) (stageProg, error) {
+			// Graceful shutdown stops production between programs; ErrStop
+			// ends the Source cleanly and in-flight items drain and merge.
+			if e.drainRequested() {
+				return stageProg{}, stage.ErrStop
+			}
+			p := e.restoredN + i
 			t0 := time.Now()
 			prog := e.Template.Generate(progRng, p)
 			e.Trace.Span("proggen", p, t0)
@@ -156,14 +171,16 @@ func runStaged(ctx context.Context, e *Experiment, res *Result, start time.Time)
 			// lowest-index failure; nothing to merge.
 			return nil
 		}
-		return res.mergeProgram(e, it.Index, it.Val)
+		// Item indices are 0-based over the live (non-restored) programs;
+		// shift back to campaign program indices for the merge.
+		return res.mergeProgram(e, e.restoredN+it.Index, it.Val)
 	})
 	res.Stages = c.Snapshots()
 	if err != nil {
 		return err
 	}
 	if p, ferr := c.FirstErr(); ferr != nil {
-		return fmt.Errorf("scamv: program %d: %w", p, ferr)
+		return fmt.Errorf("scamv: program %d: %w", e.restoredN+p, ferr)
 	}
 	return ctx.Err()
 }
